@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: the two readings of Algorithm 1's checkpoint scheme
+ * (DESIGN.md).
+ *
+ *  - PerPoint: the pseudocode read literally -- every bucket entry
+ *    whose window is off-checkpoint pays its own (t mod M) * k
+ *    doubling chain.
+ *  - Horner: per-delta partial accumulators share one (M-1) * k
+ *    doubling chain per bucket (the reading consistent with the
+ *    paper's measured scaling at 2^24-2^26).
+ *
+ * Both are functionally verified against each other here, then
+ * modeled across M; the bench also reports the memory the interval
+ * saves, i.e. the time/space trade-off knob of Section 4.1.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hh"
+#include "ec/curves.hh"
+#include "msm/msm_gzkp.hh"
+#include "workload/workloads.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+using namespace gzkp::msm;
+using Cfg = ec::Bls381G1Cfg;
+using Fr = ff::Bls381Fr;
+
+int
+main(int argc, char **argv)
+{
+    bool full = fullRun(argc, argv);
+    auto dev = gpusim::DeviceConfig::v100();
+    std::mt19937_64 rng(9);
+
+    header("Checkpoint-interval ablation (Algorithm 1), BLS12-381");
+
+    // Functional agreement of the two modes at a small scale.
+    {
+        std::size_t n = full ? 256 : 64;
+        std::vector<ec::AffinePoint<Cfg>> pts;
+        std::vector<Fr> scs;
+        auto g = ec::Bls381G1::generator();
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(g.mul(Fr::random(rng)).toAffine());
+            scs.push_back(Fr::random(rng));
+        }
+        GzkpMsm<Cfg>::Options a, b;
+        a.k = b.k = 8;
+        a.checkpointM = b.checkpointM = 4;
+        a.mode = CheckpointMode::Horner;
+        b.mode = CheckpointMode::PerPoint;
+        bool ok = GzkpMsm<Cfg>(a).run(pts, scs) ==
+            GzkpMsm<Cfg>(b).run(pts, scs);
+        std::printf("functional agreement (N=%zu, M=4): %s\n", n,
+                    ok ? "ok" : "MISMATCH");
+    }
+
+    std::printf("\n%-4s | %-12s | %12s %12s | %s\n", "M",
+                "table memory", "Horner", "PerPoint",
+                "PerPoint penalty");
+    std::size_t n = std::size_t(1) << 22;
+    for (std::size_t m : {1u, 2u, 4u, 8u}) {
+        GzkpMsm<Cfg>::Options oh, op;
+        oh.k = op.k = 16;
+        oh.checkpointM = op.checkpointM = m;
+        op.mode = CheckpointMode::PerPoint;
+        GzkpMsm<Cfg> eh(oh, dev), ep(op, dev);
+        double th = gpusim::modelSeconds(eh.gpuStats(n, dev), dev,
+                                         gpusim::Backend::FpuLib);
+        double tp = gpusim::modelSeconds(ep.gpuStats(n, dev), dev,
+                                         gpusim::Backend::FpuLib);
+        double mem = double(
+            GzkpMsm<Cfg>::memoryForParams(n, 16, m));
+        std::printf("%-4zu | %9.1f GB | %12s %12s | %s\n", m, mem / 1e9,
+                    fmtSec(th).c_str(), fmtSec(tp).c_str(),
+                    fmtSpeedup(tp / th).c_str());
+    }
+    std::printf("\nreading: at M=1 both are identical (full "
+                "precompute); as M grows, the literal per-point "
+                "chains dominate while Horner stays flat -- the "
+                "shared-chain reading is the one that matches the "
+                "paper's measured scaling.\n");
+    return 0;
+}

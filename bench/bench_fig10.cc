@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 10 reproduction: MSM breakdown with BLS12-381 on one V100.
+ *
+ * Four bars per scale:
+ *   BG                bellperson-like sub-MSM Pippenger
+ *   GZKP-no-LB        bucket-based consolidation, no load balancing,
+ *                     integer backend
+ *   GZKP-no-LB w. lib same, over the optimized field library
+ *   GZKP              + load-balanced task groups / warp mapping
+ *
+ * Paper anchors at 2^22: 3.25x (consolidation), +33% (library),
+ * 5.6x total.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hh"
+#include "ec/curves.hh"
+#include "msm/msm_bellperson.hh"
+#include "msm/msm_gzkp.hh"
+#include "workload/workloads.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+using namespace gzkp::msm;
+using Cfg = ec::Bls381G1Cfg;
+using Fr = ff::Bls381Fr;
+
+int
+main()
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    std::mt19937_64 rng(5);
+
+    header("Figure 10: MSM breakdown, BLS12-381 (381-bit), V100 "
+           "(modeled, dense synthetic scalars)");
+    std::printf("%-6s | %10s %12s %18s %10s | %s\n", "scale", "BG",
+                "GZKP-no-LB", "GZKP-no-LB w. lib", "GZKP",
+                "total speedup");
+
+    for (std::size_t logn : {18u, 20u, 22u}) {
+        std::size_t n = std::size_t(1) << logn;
+        auto dense = workload::denseScalars<Fr>(n, rng);
+
+        BellpersonMsm<Cfg> bg;
+        double t_bg = gpusim::modelSeconds(
+            bg.gpuStats(n, dev, &dense), dev,
+            gpusim::Backend::IntOnly);
+
+        GzkpMsm<Cfg>::Options no_lb;
+        no_lb.loadBalance = false;
+        GzkpMsm<Cfg> gz_no_lb(no_lb, dev);
+        double t_no_lb = gpusim::modelSeconds(
+            gz_no_lb.gpuStats(n, dev, &dense), dev,
+            gpusim::Backend::IntOnly);
+        double t_no_lb_lib = gpusim::modelSeconds(
+            gz_no_lb.gpuStats(n, dev, &dense), dev,
+            gpusim::Backend::FpuLib);
+
+        GzkpMsm<Cfg> gz({}, dev);
+        double t_gz = gpusim::modelSeconds(
+            gz.gpuStats(n, dev, &dense), dev,
+            gpusim::Backend::FpuLib);
+
+        std::printf(
+            "2^%-4zu | %10s %12s %18s %10s | %s (consolidation %s, "
+            "lib +%.0f%%, LB +%.0f%%)\n",
+            logn, fmtSec(t_bg).c_str(), fmtSec(t_no_lb).c_str(),
+            fmtSec(t_no_lb_lib).c_str(), fmtSec(t_gz).c_str(),
+            fmtSpeedup(t_bg / t_gz).c_str(),
+            fmtSpeedup(t_bg / t_no_lb).c_str(),
+            100 * (t_no_lb / t_no_lb_lib - 1),
+            100 * (t_no_lb_lib / t_gz - 1));
+    }
+    std::printf("\npaper anchors at 2^22: GZKP-no-LB = 3.25x over "
+                "BG; w. lib +33%%; GZKP total 5.6x\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 8 reproduction: breakdown analysis of a single NTT with the
+ * 256-bit BLS12-381 scalar field on the V100 model.
+ *
+ * Four bars per scale, as in the paper:
+ *   BG                 bellperson-like (shuffles, int backend)
+ *   BG w. lib          same kernels over the optimized field library
+ *   GZKP-no-GM-shuffle shuffle removed, strided gathers remain
+ *   GZKP               full design (internal shuffle, flexible blocks)
+ *
+ * Also prints the Section 2.2 shuffle-share observation (shuffle
+ * stages cost 42-81% of per-batch time at large bit-widths).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "ff/field_tags.hh"
+#include "ntt/ntt_gpu.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+using namespace gzkp::ntt;
+using Fr = ff::Bls381Fr;
+
+int
+main()
+{
+    auto dev = gpusim::DeviceConfig::v100();
+
+    header("Figure 8: single-NTT breakdown, 256-bit BLS12-381, V100 "
+           "(modeled)");
+    std::printf("%-6s | %10s %10s %18s %10s | %18s\n", "scale", "BG",
+                "BG w. lib", "GZKP-no-GM-shuffle", "GZKP",
+                "BG shuffle share");
+
+    for (std::size_t logn : {18u, 20u, 22u, 24u}) {
+        ShuffledNtt<Fr> bg;
+        GzkpNtt<Fr> gz;
+        auto s_bg = bg.stats(logn, dev);
+        auto s_ns = bg.statsNoShuffle(logn, dev);
+        auto s_gz = gz.stats(logn, dev);
+
+        double t_bg = ntt::nttModelSeconds(s_bg, dev, gpusim::Backend::IntOnly);
+        double t_bgl = ntt::nttModelSeconds(s_bg, dev, gpusim::Backend::FpuLib);
+        double t_ns = ntt::nttModelSeconds(s_ns, dev, gpusim::Backend::FpuLib);
+        double t_gz = ntt::nttModelSeconds(s_gz, dev, gpusim::Backend::FpuLib);
+
+        double shuffle_share =
+            gpusim::modelMemorySeconds(s_bg.shuffle, dev) / t_bg;
+
+        std::printf("2^%-4zu | %10s %10s %18s %10s | %15.0f%%\n", logn,
+                    fmtSec(t_bg).c_str(), fmtSec(t_bgl).c_str(),
+                    fmtSec(t_ns).c_str(), fmtSec(t_gz).c_str(),
+                    shuffle_share * 100);
+    }
+
+    std::printf("\npaper anchors at 2^22: BG w. lib = 1.6x over BG; "
+                "GZKP = 1.5x over BG w. lib; at 2^18 BG suffers "
+                "2-thread blocks (30 of 32 lanes idle)\n");
+
+    // The Section 2.2 strided-access observation: for the 2^24-NTT
+    // with 256-bit inputs, each shuffle stage costs 42-81% of its
+    // batch's execution time.
+    header("Section 2.2 check: shuffle cost share per batch "
+           "(2^24-NTT, 256-bit)");
+    {
+        std::size_t logn = 24;
+        ShuffledNtt<Fr> bg;
+        auto st = bg.stats(logn, dev);
+        std::size_t shuffles = st.shuffle.numLaunches;
+        std::size_t batches = st.compute.numLaunches;
+        double shuffle = gpusim::modelSeconds(
+            st.shuffle, dev, gpusim::Backend::IntOnly) /
+            double(shuffles);
+        double compute = gpusim::modelSeconds(
+            st.compute, dev, gpusim::Backend::IntOnly) /
+            double(batches);
+        std::printf("per-shuffle %s vs per-batch compute %s -> "
+                    "shuffle is %.0f%% of a batch's time "
+                    "(paper: 42-81%%)\n",
+                    fmtSec(shuffle).c_str(), fmtSec(compute).c_str(),
+                    100 * shuffle / (shuffle + compute));
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table 3 reproduction: Zcash proof workloads, BLS12-381 (381-bit),
+ * one V100. Best-CPU = bellman-like; Best-GPU = bellperson-like.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "e2e_model.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+
+namespace {
+
+struct PaperRow {
+    const char *name;
+    std::size_t n;
+    double bc_poly, bc_msm, bg_poly, bg_msm, gz_poly, gz_msm;
+    double spd_cpu, spd_gpu;
+};
+
+const PaperRow kPaper[] = {
+    {"Sapling_Output", 8191, 0.17, 0.21, 0.052, 0.26, 0.001, 0.033,
+     11.1, 9.2},
+    {"Sapling_Spend", 131071, 0.43, 1.07, 0.16, 0.50, 0.003, 0.09,
+     16.7, 7.1},
+    {"Sprout", 2097151, 4.05, 9.61, 0.69, 2.24, 0.049, 0.25, 46.3,
+     9.8},
+};
+
+} // namespace
+
+int
+main()
+{
+    auto dev = gpusim::DeviceConfig::v100();
+
+    header("Table 3: Zcash workloads, BLS12-381 (381-bit), one V100 "
+           "(modeled; paper values in parentheses)");
+    std::printf("%-16s %-9s | %9s %9s | %9s %9s | %9s %9s | %12s "
+                "%12s\n",
+                "workload", "N", "BC POLY", "BC MSM", "BG POLY",
+                "BG MSM", "GZ POLY", "GZ MSM", "spd vs CPU",
+                "spd vs GPU");
+
+    double combined_gz = 0, combined_bc = 0, combined_bg = 0;
+    for (const auto &row : kPaper) {
+        E2eModel<ec::Bls381G1Cfg> model(
+            row.n, workload::zcashProfile(), dev, 7);
+        auto bc = model.bestCpu(false); // bellman precomputes omegas
+        auto bg = model.bellpersonGpu();
+        auto gz = model.gzkp();
+        combined_bc += bc.total();
+        combined_bg += bg.total();
+        combined_gz += gz.total();
+
+        std::printf(
+            "%-16s %-9zu | %9s %9s | %9s %9s | %9s %9s | %4s (%4.1fx) "
+            "%4s (%4.1fx)\n",
+            row.name, row.n, fmtSec(bc.poly).c_str(),
+            fmtSec(bc.msm).c_str(), fmtSec(bg.poly).c_str(),
+            fmtSec(bg.msm).c_str(), fmtSec(gz.poly).c_str(),
+            fmtSec(gz.msm).c_str(),
+            fmtSpeedup(bc.total() / gz.total()).c_str(), row.spd_cpu,
+            fmtSpeedup(bg.total() / gz.total()).c_str(), row.spd_gpu);
+    }
+
+    std::printf("\nshielded transaction (Spend + Output + Sprout "
+                "combined): %s vs bellman (paper 37.1x), %s vs "
+                "bellperson (paper 9.2x)\n",
+                fmtSpeedup(combined_bc / combined_gz).c_str(),
+                fmtSpeedup(combined_bg / combined_gz).c_str());
+    std::printf("paper reference rows (BC/BG/GZ seconds):\n");
+    for (const auto &row : kPaper) {
+        std::printf("  %-16s BC %5.2f/%5.2f  BG %5.3f/%5.2f  GZ "
+                    "%6.3f/%6.3f\n",
+                    row.name, row.bc_poly, row.bc_msm, row.bg_poly,
+                    row.bg_msm, row.gz_poly, row.gz_msm);
+    }
+    return 0;
+}

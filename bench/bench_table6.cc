@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 6 reproduction: single NTT operation on the GTX 1080 Ti
+ * model (fewer SMs, less bandwidth, negligible DP throughput).
+ * Same structure as Table 5; scales stop at 2^24 as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "ff/field_tags.hh"
+#include "ntt/ntt_cpu.hh"
+#include "ntt/ntt_gpu.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+using namespace gzkp::ntt;
+
+namespace {
+
+struct PaperRow {
+    std::size_t logn;
+    double cpu753, gzkp753, bg256, gzkp256;
+};
+
+// Table 6 (GTX 1080 Ti), paper values converted to seconds.
+const PaperRow kPaper[] = {
+    {14, 0.102, 0.00033, 0.00052, 0.00006},
+    {16, 0.212, 0.00116, 0.00098, 0.00018},
+    {18, 0.565, 0.00621, 0.01464, 0.00070},
+    {20, 2.110, 0.02726, 0.02380, 0.00287},
+    {22, 8.180, 0.11982, 0.07050, 0.01283},
+    {24, 32.517, 0.53925, 0.23459, 0.05618},
+};
+
+} // namespace
+
+int
+main()
+{
+    auto dev = gpusim::DeviceConfig::gtx1080ti();
+    auto cpu = gpusim::CpuConfig::xeonGold5117x2();
+
+    header("Table 6: single NTT operation, GTX 1080 Ti "
+           "(modeled; paper values in parentheses)");
+    std::printf("%-6s | %12s %12s %8s | %12s %12s %8s\n", "scale",
+                "753b BestCPU", "753b GZKP", "speedup", "256b BestGPU",
+                "256b GZKP", "speedup");
+
+    for (const auto &row : kPaper) {
+        LibsnarkStyleNtt<ff::Mnt4753Fr> libsnark;
+        double t_cpu =
+            gpusim::cpuModelSeconds(libsnark.stats(row.logn), cpu);
+        GzkpNtt<ff::Mnt4753Fr> gz753;
+        double t_753 = ntt::nttModelSeconds(gz753.stats(row.logn, dev), dev, gpusim::Backend::FpuLib);
+        ShuffledNtt<ff::Bls381Fr> bg;
+        GzkpNtt<ff::Bls381Fr> gz256;
+        double t_bg = ntt::nttModelSeconds(bg.stats(row.logn, dev), dev, gpusim::Backend::IntOnly);
+        double t_256 = ntt::nttModelSeconds(gz256.stats(row.logn, dev), dev, gpusim::Backend::FpuLib);
+
+        std::printf(
+            "2^%-4zu | %6s (%5s) %6s (%5s) %8s | %6s (%5s) %6s (%5s) "
+            "%8s\n",
+            row.logn, fmtSec(t_cpu).c_str(), fmtSec(row.cpu753).c_str(),
+            fmtSec(t_753).c_str(), fmtSec(row.gzkp753).c_str(),
+            fmtSpeedup(t_cpu / t_753).c_str(), fmtSec(t_bg).c_str(),
+            fmtSec(row.bg256).c_str(), fmtSec(t_256).c_str(),
+            fmtSec(row.gzkp256).c_str(),
+            fmtSpeedup(t_bg / t_256).c_str());
+    }
+    std::printf("\npaper speedup ranges: 753-bit 60-305x vs CPU; "
+                "256-bit 4.2-20.9x vs GPU\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 8 reproduction: single MSM operation (G1) on the
+ * GTX 1080 Ti model. The smaller 11 GB memory makes the MINA-like
+ * Straus baseline fail earlier (above 2^20), as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "ec/curves.hh"
+#include "msm/msm_bellperson.hh"
+#include "msm/msm_gzkp.hh"
+#include "msm/msm_serial.hh"
+#include "msm/msm_straus.hh"
+
+using namespace gzkp;
+using namespace gzkp::bench;
+using namespace gzkp::msm;
+
+namespace {
+
+struct PaperRow {
+    std::size_t logn;
+    double mina753, gzkp753, bg381, gzkp381, cpu256, gzkp256;
+};
+
+// Table 8 (GTX 1080 Ti); -1 marks OOM in the paper.
+const PaperRow kPaper[] = {
+    {14, 0.35, 0.08, 0.093, 0.015, 0.07, 0.007},
+    {16, 1.00, 0.20, 0.20, 0.032, 0.18, 0.013},
+    {18, 2.71, 0.71, 0.64, 0.073, 0.45, 0.032},
+    {20, 10.07, 2.51, 1.43, 0.26, 1.48, 0.10},
+    {22, -1, 11.91, 5.10, 1.04, 4.90, 0.37},
+    {24, -1, 46.83, 19.86, 4.16, 17.27, 1.50},
+};
+
+} // namespace
+
+int
+main()
+{
+    auto dev = gpusim::DeviceConfig::gtx1080ti();
+    auto cpu = gpusim::CpuConfig::xeonGold5117x2();
+
+    header("Table 8: single MSM operation (G1), GTX 1080 Ti "
+           "(modeled; paper values in parentheses)");
+    std::printf("%-6s | %10s %10s %7s | %10s %10s %7s | %10s %10s "
+                "%7s\n",
+                "scale", "753b MINA", "753b GZKP", "spd", "381b BG",
+                "381b GZKP", "spd", "256b CPU", "256b GZKP", "spd");
+
+    for (const auto &row : kPaper) {
+        std::size_t n = std::size_t(1) << row.logn;
+
+        StrausMsm<ec::Mnt4753G1Cfg> mina;
+        GzkpMsm<ec::Mnt4753G1Cfg> gz753({}, dev);
+        double t_mina = -1;
+        if (mina.fits(n, dev)) {
+            t_mina = gpusim::modelSeconds(mina.gpuStats(n, dev), dev,
+                                          gpusim::Backend::IntOnly);
+        }
+        double t_753 = gpusim::modelSeconds(gz753.gpuStats(n, dev),
+                                            dev,
+                                            gpusim::Backend::FpuLib);
+
+        BellpersonMsm<ec::Bls381G1Cfg> bg;
+        GzkpMsm<ec::Bls381G1Cfg> gz381({}, dev);
+        double t_bg = gpusim::modelSeconds(bg.gpuStats(n, dev), dev,
+                                           gpusim::Backend::IntOnly);
+        double t_381 = gpusim::modelSeconds(gz381.gpuStats(n, dev),
+                                            dev,
+                                            gpusim::Backend::FpuLib);
+
+        PippengerSerial<ec::Bn254G1Cfg> pip;
+        GzkpMsm<ec::Bn254G1Cfg> gz256({}, dev);
+        double t_cpu = gpusim::cpuModelSeconds(pip.stats(n), cpu);
+        double t_256 = gpusim::modelSeconds(gz256.gpuStats(n, dev),
+                                            dev,
+                                            gpusim::Backend::FpuLib);
+
+        auto spd = [](double base, double g) {
+            return base < 0 ? std::string("-") : fmtSpeedup(base / g);
+        };
+        std::printf(
+            "2^%-4zu | %4s (%4s) %4s (%4s) %7s | %4s (%4s) %4s (%4s) "
+            "%7s | %4s (%4s) %4s (%4s) %7s\n",
+            row.logn, fmtSec(t_mina).c_str(),
+            fmtSec(row.mina753).c_str(), fmtSec(t_753).c_str(),
+            fmtSec(row.gzkp753).c_str(), spd(t_mina, t_753).c_str(),
+            fmtSec(t_bg).c_str(), fmtSec(row.bg381).c_str(),
+            fmtSec(t_381).c_str(), fmtSec(row.gzkp381).c_str(),
+            spd(t_bg, t_381).c_str(), fmtSec(t_cpu).c_str(),
+            fmtSec(row.cpu256).c_str(), fmtSec(t_256).c_str(),
+            fmtSec(row.gzkp256).c_str(), spd(t_cpu, t_256).c_str());
+    }
+    std::printf("\npaper: MINA OOM above 2^20 ('-'); speedups "
+                "3.8-5.0x (753b), 4.8-8.8x (381b), 10.3-14.5x "
+                "(256b)\n");
+    return 0;
+}

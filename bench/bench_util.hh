@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Every bench prints the paper's reference numbers next to the
+ * values this reproduction computes (modeled GPU times from the
+ * gpusim roofline, modeled CPU baselines, plus measured host
+ * wall-clock for functionally executed scales) so EXPERIMENTS.md can
+ * be regenerated directly from bench output.
+ */
+
+#ifndef GZKP_BENCH_BENCH_UTIL_HH
+#define GZKP_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace gzkp::bench {
+
+/** Wall-clock timer for functional (host-executed) sections. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** True when the bench was invoked with --full (larger sweeps). */
+inline bool
+fullRun(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--full") == 0)
+            return true;
+    return false;
+}
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+/** Format seconds the way the paper's tables do. */
+inline std::string
+fmtSec(double s)
+{
+    char buf[32];
+    if (s < 0)
+        return "-";
+    if (s < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+    else if (s < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    return buf;
+}
+
+inline std::string
+fmtSpeedup(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", x);
+    return buf;
+}
+
+} // namespace gzkp::bench
+
+#endif // GZKP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * End-to-end proof-generation model shared by the Table 2/3/4
+ * benches.
+ *
+ * One Groth16 proof is exactly the paper's pipeline (Section 5.2):
+ * seven NTT-sized transforms in the POLY stage and five MSMs in the
+ * MSM stage -- four over the (sparse, real-world) witness vector,
+ * one of which lives in G2, plus one over the dense h vector. The
+ * sparse scalar vectors are generated at full size so the MSM
+ * engines' imbalance factors come from real digit histograms.
+ */
+
+#ifndef GZKP_BENCH_E2E_MODEL_HH
+#define GZKP_BENCH_E2E_MODEL_HH
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "ec/curves.hh"
+#include "gpusim/perf_model.hh"
+#include "msm/msm_bellperson.hh"
+#include "msm/msm_gzkp.hh"
+#include "msm/msm_serial.hh"
+#include "msm/msm_straus.hh"
+#include "ntt/ntt_cpu.hh"
+#include "ntt/ntt_gpu.hh"
+#include "workload/workloads.hh"
+#include "zkp/qap.hh"
+
+namespace gzkp::bench {
+
+/** G2 MSM cost relative to G1 at the same scale (Fp2 arithmetic). */
+inline constexpr double kG2Factor = 2.8;
+
+/** POLY + MSM stage times (seconds) for one proof. */
+struct StageTimes {
+    double poly = 0;
+    double msm = 0;
+    double total() const { return poly + msm; }
+};
+
+/**
+ * End-to-end times for one curve family at vector size n.
+ * @tparam G1Cfg curve config; Fr is its scalar field.
+ */
+template <typename G1Cfg>
+struct E2eModel {
+    using Fr = typename G1Cfg::Scalar;
+
+    std::size_t n;
+    std::size_t logN;
+    std::vector<Fr> witness; //!< sparse u vector (full size)
+    gpusim::DeviceConfig dev;
+    gpusim::CpuConfig cpu;
+
+    E2eModel(std::size_t vector_size,
+             const workload::SparsityProfile &profile,
+             const gpusim::DeviceConfig &device, std::uint64_t seed)
+        : n(vector_size), logN(zkp::domainLogFor(vector_size + 1)),
+          dev(device), cpu(gpusim::CpuConfig::xeonGold5117x2())
+    {
+        std::mt19937_64 rng(seed);
+        witness = workload::sparseScalars<Fr>(n, profile, rng);
+    }
+
+    /** 4 sparse MSMs (one G2) + 1 dense MSM from per-MSM times. */
+    double
+    msmStage(double sparse_g1, double dense_g1) const
+    {
+        return (2.0 + kG2Factor) * sparse_g1 + /* A, B1, B2 */
+            sparse_g1 +                        /* L query */
+            dense_g1;                          /* h query */
+    }
+
+    /** libsnark/bellman-style CPU prover. */
+    StageTimes
+    bestCpu(bool redundant_omegas) const
+    {
+        StageTimes t;
+        ntt::LibsnarkStyleNtt<Fr> nttm(redundant_omegas);
+        t.poly = 7.0 * gpusim::cpuModelSeconds(nttm.stats(logN), cpu);
+        msm::PippengerSerial<G1Cfg> pip;
+        double m_sparse =
+            gpusim::cpuModelSeconds(pip.stats(n, &witness), cpu);
+        double m_dense = gpusim::cpuModelSeconds(pip.stats(n), cpu);
+        t.msm = msmStage(m_sparse, m_dense);
+        return t;
+    }
+
+    /** MINA-style: CPU POLY + Straus GPU MSM (Table 2's Best-GPU). */
+    StageTimes
+    minaGpu() const
+    {
+        StageTimes t;
+        t.poly = bestCpu(true).poly;
+        msm::StrausMsm<G1Cfg> straus;
+        auto st = straus.gpuStats(n, dev);
+        // Sparse scalars leave most window-lanes of MINA's
+        // per-thread chains idle; measure from the real histogram.
+        auto hist = msm::bucketLoadHistogram(witness, straus.window());
+        double nz = 0;
+        for (auto h : hist)
+            nz += double(h);
+        double dense_entries = double(n) *
+            msm::windowCount(Fr::bits(), straus.window());
+        double sparse_factor =
+            nz > 0 ? dense_entries / nz : 1.0; // idle chain slots
+        auto sp = st;
+        sp.loadImbalanceFactor *= std::min(4.0, sparse_factor);
+        double m_sparse = gpusim::modelSeconds(
+            sp, dev, gpusim::Backend::IntOnly);
+        double m_dense = gpusim::modelSeconds(
+            st, dev, gpusim::Backend::IntOnly);
+        t.msm = msmStage(m_sparse, m_dense);
+        return t;
+    }
+
+    /** bellperson-style GPU prover (Tables 3/4's Best-GPU). */
+    StageTimes
+    bellpersonGpu() const
+    {
+        StageTimes t;
+        ntt::ShuffledNtt<Fr> bg_ntt;
+        t.poly = 7.0 * ntt::nttModelSeconds(bg_ntt.stats(logN, dev), dev, gpusim::Backend::IntOnly);
+        msm::BellpersonMsm<G1Cfg> bp;
+        double m_sparse = gpusim::modelSeconds(
+            bp.gpuStats(n, dev, &witness), dev,
+            gpusim::Backend::IntOnly);
+        double m_dense = gpusim::modelSeconds(
+            bp.gpuStats(n, dev), dev, gpusim::Backend::IntOnly);
+        t.msm = msmStage(m_sparse, m_dense);
+        return t;
+    }
+
+    /** The GZKP prover. */
+    StageTimes
+    gzkp() const
+    {
+        StageTimes t;
+        ntt::GzkpNtt<Fr> gz_ntt;
+        t.poly = 7.0 * ntt::nttModelSeconds(gz_ntt.stats(logN, dev), dev, gpusim::Backend::FpuLib);
+        msm::GzkpMsm<G1Cfg> gz({}, dev);
+        double m_sparse = gpusim::modelSeconds(
+            gz.gpuStats(n, dev, &witness), dev,
+            gpusim::Backend::FpuLib);
+        double m_dense = gpusim::modelSeconds(
+            gz.gpuStats(n, dev), dev, gpusim::Backend::FpuLib);
+        t.msm = msmStage(m_sparse, m_dense);
+        return t;
+    }
+
+    /**
+     * GZKP on `cards` GPUs (Table 4): the 7 data-independent NTTs
+     * are spread across cards (ceil(7/cards) waves); each MSM is
+     * split horizontally into `cards` sub-MSMs plus a PCIe combine.
+     */
+    StageTimes
+    gzkpMulti(std::size_t cards) const
+    {
+        StageTimes t;
+        ntt::GzkpNtt<Fr> gz_ntt;
+        double one_ntt = ntt::nttModelSeconds(gz_ntt.stats(logN, dev), dev, gpusim::Backend::FpuLib);
+        double waves = double((7 + cards - 1) / cards);
+        t.poly = waves * one_ntt + pcieCombine(cards);
+
+        msm::GzkpMsm<G1Cfg> gz({}, dev);
+        std::size_t n_sub = n / cards;
+        std::vector<Fr> sub(witness.begin(),
+                            witness.begin() + n_sub);
+        double m_sparse = gpusim::modelSeconds(
+            gz.gpuStats(n_sub, dev, &sub), dev,
+            gpusim::Backend::FpuLib);
+        double m_dense = gpusim::modelSeconds(
+            gz.gpuStats(n_sub, dev), dev, gpusim::Backend::FpuLib);
+        t.msm = msmStage(m_sparse + pcieCombine(cards),
+                         m_dense + pcieCombine(cards));
+        return t;
+    }
+
+    /** bellperson on `cards` GPUs: MSM split only, POLY unchanged. */
+    StageTimes
+    bellpersonMulti(std::size_t cards) const
+    {
+        StageTimes t;
+        t.poly = bellpersonGpu().poly;
+        msm::BellpersonMsm<G1Cfg> bp;
+        std::size_t n_sub = n / cards;
+        std::vector<Fr> sub(witness.begin(),
+                            witness.begin() + n_sub);
+        double m_sparse = gpusim::modelSeconds(
+            bp.gpuStats(n_sub, dev, &sub), dev,
+            gpusim::Backend::IntOnly);
+        double m_dense = gpusim::modelSeconds(
+            bp.gpuStats(n_sub, dev), dev, gpusim::Backend::IntOnly);
+        t.msm = msmStage(m_sparse + pcieCombine(cards),
+                         m_dense + pcieCombine(cards));
+        return t;
+    }
+
+  private:
+    double
+    pcieCombine(std::size_t cards) const
+    {
+        // Partial results plus synchronisation per card.
+        double bytes = double(cards) * 3 * G1Cfg::Field::kLimbs * 8;
+        return bytes / (dev.pcieGBps * 1e9) + double(cards) * 30e-6;
+    }
+};
+
+} // namespace gzkp::bench
+
+#endif // GZKP_BENCH_E2E_MODEL_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-base windowed scalar multiplication.
+ *
+ * The trusted setup evaluates thousands of PMULs against the same
+ * generator; a per-base precomputed window table turns each into
+ * ~l/k mixed additions. (This is setup-time machinery -- the prover
+ * hot path uses the MSM module instead.)
+ */
+
+#ifndef GZKP_EC_FIXED_BASE_HH
+#define GZKP_EC_FIXED_BASE_HH
+
+#include <vector>
+
+#include "ec/point.hh"
+
+namespace gzkp::ec {
+
+template <typename Cfg>
+class FixedBaseMul
+{
+  public:
+    using Point = ECPoint<Cfg>;
+    using Affine = AffinePoint<Cfg>;
+    using Scalar = typename Cfg::Scalar;
+
+    /** Build the table for `base`; k window bits (default 8). */
+    explicit FixedBaseMul(const Point &base, std::size_t k = 8)
+        : k_(k)
+    {
+        std::size_t l = Scalar::bits();
+        std::size_t windows = (l + k - 1) / k;
+        std::size_t per = (std::size_t(1) << k) - 1;
+        std::vector<Point> table;
+        table.reserve(windows * per);
+        Point w_base = base;
+        for (std::size_t t = 0; t < windows; ++t) {
+            Point acc = w_base;
+            for (std::size_t d = 0; d < per; ++d) {
+                table.push_back(acc);
+                acc += w_base;
+            }
+            w_base = acc; // acc = 2^k * w_base after the loop
+        }
+        table_ = batchToAffine<Cfg>(table);
+    }
+
+    Point
+    mul(const Scalar &s) const
+    {
+        auto repr = s.toBigInt();
+        std::size_t per = (std::size_t(1) << k_) - 1;
+        std::size_t windows = table_.size() / per;
+        Point acc;
+        for (std::size_t t = 0; t < windows; ++t) {
+            std::uint64_t d = repr.bits(t * k_, k_);
+            if (d != 0)
+                acc = acc.addMixed(table_[t * per + d - 1]);
+        }
+        return acc;
+    }
+
+  private:
+    std::size_t k_;
+    std::vector<Affine> table_;
+};
+
+} // namespace gzkp::ec
+
+#endif // GZKP_EC_FIXED_BASE_HH

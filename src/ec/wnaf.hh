@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Windowed non-adjacent-form (wNAF) scalar multiplication.
+ *
+ * PMUL with ~l/(w+1) additions instead of l/2, by recoding the
+ * scalar into signed odd digits (negation is free on elliptic
+ * curves). Used where a single large PMUL matters (setup, verifier
+ * IC accumulation); the MSM module's bucket methods remain the tool
+ * for many-point workloads.
+ */
+
+#ifndef GZKP_EC_WNAF_HH
+#define GZKP_EC_WNAF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/point.hh"
+
+namespace gzkp::ec {
+
+/**
+ * Recode a scalar into wNAF digits (least significant first).
+ * Each digit is 0 or odd with |d| < 2^w; nonzero digits are
+ * separated by at least w zeros.
+ */
+template <std::size_t N>
+std::vector<int>
+wnafRecode(const gzkp::ff::BigInt<N> &k, std::size_t w)
+{
+    std::vector<int> digits;
+    gzkp::ff::BigInt<N> v = k;
+    const std::uint64_t window = std::uint64_t(1) << (w + 1);
+    while (!v.isZero()) {
+        int d = 0;
+        if (v.isOdd()) {
+            std::uint64_t mods = v.limbs[0] & (window - 1);
+            if (mods >= window / 2) {
+                // Negative digit: d = mods - 2^(w+1); add back.
+                d = int(mods) - int(window);
+                gzkp::ff::BigInt<N> add =
+                    gzkp::ff::BigInt<N>::fromUint64(
+                        std::uint64_t(-d));
+                gzkp::ff::BigInt<N>::add(v, add, v);
+            } else {
+                d = int(mods);
+                gzkp::ff::BigInt<N> sub =
+                    gzkp::ff::BigInt<N>::fromUint64(mods);
+                gzkp::ff::BigInt<N>::sub(v, sub, v);
+            }
+        }
+        digits.push_back(d);
+        v = v.shr(1);
+    }
+    return digits;
+}
+
+/** wNAF scalar multiplication (window w, default 4). */
+template <typename Cfg, std::size_t N>
+ECPoint<Cfg>
+wnafMul(const ECPoint<Cfg> &p, const gzkp::ff::BigInt<N> &k,
+        std::size_t w = 4)
+{
+    if (k.isZero() || p.isZero())
+        return ECPoint<Cfg>();
+
+    // Precompute odd multiples P, 3P, ..., (2^w - 1)P.
+    std::size_t count = std::size_t(1) << (w - 1);
+    std::vector<ECPoint<Cfg>> table(count);
+    table[0] = p;
+    ECPoint<Cfg> twice = p.dbl();
+    for (std::size_t i = 1; i < count; ++i)
+        table[i] = table[i - 1] + twice;
+    auto aff = batchToAffine<Cfg>(table);
+
+    auto digits = wnafRecode(k, w);
+    ECPoint<Cfg> acc;
+    for (std::size_t i = digits.size(); i-- > 0;) {
+        acc = acc.dbl();
+        int d = digits[i];
+        if (d > 0)
+            acc = acc.addMixed(aff[(d - 1) / 2]);
+        else if (d < 0)
+            acc = acc.addMixed(aff[(-d - 1) / 2].negate());
+    }
+    return acc;
+}
+
+template <typename Cfg>
+ECPoint<Cfg>
+wnafMul(const ECPoint<Cfg> &p, const typename Cfg::Scalar &k,
+        std::size_t w = 4)
+{
+    return wnafMul(p, k.toBigInt(), w);
+}
+
+} // namespace gzkp::ec
+
+#endif // GZKP_EC_WNAF_HH

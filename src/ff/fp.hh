@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Montgomery-form prime fields over BigInt limbs.
+ *
+ * This is the integer backend of the GZKP finite-field library
+ * (paper Section 4.3): large integers are split into 64-bit limbs and
+ * multiplied with the CIOS Montgomery algorithm. The alternative
+ * floating-point (base-2^52 + Dekker) backend lives in
+ * fpu_backend.hh; both produce identical field values and are
+ * cross-checked in tests.
+ *
+ * Fp<Tag> is parameterised by a tag type supplying the limb count and
+ * the modulus as a hex string. All derived constants (Montgomery R,
+ * R^2, -p^-1 mod 2^64, 2-adic root of unity, ...) are computed once
+ * at first use.
+ */
+
+#ifndef GZKP_FF_FP_HH
+#define GZKP_FF_FP_HH
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ff/bigint.hh"
+
+namespace gzkp::ff {
+
+/**
+ * Derived Montgomery parameters for a prime modulus with N limbs.
+ * Built once per field by makeMontParams().
+ */
+template <std::size_t N>
+struct MontParams {
+    BigInt<N> modulus;
+    std::size_t bits = 0;          //!< bit length of the modulus
+    std::uint64_t inv = 0;         //!< -p^-1 mod 2^64
+    BigInt<N> r1;                  //!< R mod p (Montgomery form of 1)
+    BigInt<N> r2;                  //!< R^2 mod p (conversion constant)
+    BigInt<N> pMinus2;             //!< exponent for Fermat inversion
+    BigInt<N> pMinus1Half;         //!< (p-1)/2, Euler criterion
+    BigInt<N> pPlus1Quarter;       //!< (p+1)/4 (valid when p = 3 mod 4)
+    std::size_t twoAdicity = 0;    //!< s with p - 1 = odd * 2^s
+    std::uint64_t generator = 0;   //!< small quadratic non-residue g
+    BigInt<N> rootOfUnity;         //!< g^((p-1)/2^s), Montgomery form
+};
+
+/** Modular addition helper on raw BigInts: (a + b) mod p. */
+template <std::size_t N>
+inline BigInt<N>
+modAdd(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &p)
+{
+    BigInt<N> s;
+    std::uint64_t carry = BigInt<N>::add(a, b, s);
+    if (carry || s >= p) {
+        BigInt<N> t;
+        BigInt<N>::sub(s, p, t);
+        return t;
+    }
+    return s;
+}
+
+/** Modular subtraction helper on raw BigInts: (a - b) mod p. */
+template <std::size_t N>
+inline BigInt<N>
+modSub(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &p)
+{
+    BigInt<N> s;
+    std::uint64_t borrow = BigInt<N>::sub(a, b, s);
+    if (borrow) {
+        BigInt<N> t;
+        BigInt<N>::add(s, p, t);
+        return t;
+    }
+    return s;
+}
+
+/**
+ * CIOS Montgomery multiplication: returns a * b * R^-1 mod p.
+ * Inputs must be fully reduced (< p); the output is fully reduced.
+ */
+template <std::size_t N>
+inline BigInt<N>
+montMul(const BigInt<N> &a, const BigInt<N> &b, const MontParams<N> &pp)
+{
+    const auto &p = pp.modulus.limbs;
+    std::uint64_t t[N + 2] = {0};
+    for (std::size_t i = 0; i < N; ++i) {
+        // Multiplication step: t += a[i] * b.
+        std::uint64_t c = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            uint128 s = uint128(t[j]) + uint128(a.limbs[i]) * b.limbs[j] + c;
+            t[j] = std::uint64_t(s);
+            c = std::uint64_t(s >> 64);
+        }
+        uint128 s = uint128(t[N]) + c;
+        t[N] = std::uint64_t(s);
+        t[N + 1] = std::uint64_t(s >> 64);
+
+        // Reduction step: fold out one limb with m = t[0] * inv.
+        std::uint64_t m = t[0] * pp.inv;
+        s = uint128(t[0]) + uint128(m) * p[0];
+        c = std::uint64_t(s >> 64);
+        for (std::size_t j = 1; j < N; ++j) {
+            s = uint128(t[j]) + uint128(m) * p[j] + c;
+            t[j - 1] = std::uint64_t(s);
+            c = std::uint64_t(s >> 64);
+        }
+        s = uint128(t[N]) + c;
+        t[N - 1] = std::uint64_t(s);
+        t[N] = t[N + 1] + std::uint64_t(s >> 64);
+        t[N + 1] = 0;
+    }
+    BigInt<N> r;
+    for (std::size_t i = 0; i < N; ++i)
+        r.limbs[i] = t[i];
+    if (t[N] != 0 || r >= pp.modulus) {
+        BigInt<N> tmp;
+        BigInt<N>::sub(r, pp.modulus, tmp);
+        return tmp;
+    }
+    return r;
+}
+
+/**
+ * Build all derived Montgomery parameters from a modulus hex string.
+ * The modulus must be an odd prime; primality itself is assumed (the
+ * supplied constants are either standard curve parameters or were
+ * generated offline with Miller-Rabin, see DESIGN.md).
+ */
+template <std::size_t N>
+MontParams<N>
+makeMontParams(const char *modulus_hex)
+{
+    MontParams<N> pp;
+    pp.modulus = BigInt<N>::fromHex(modulus_hex);
+    if (!pp.modulus.isOdd())
+        throw std::invalid_argument("makeMontParams: modulus must be odd");
+    pp.bits = pp.modulus.numBits();
+
+    // inv = -p^-1 mod 2^64 by Newton iteration (5 steps suffice).
+    std::uint64_t p0 = pp.modulus.limbs[0];
+    std::uint64_t x = p0;
+    for (int i = 0; i < 5; ++i)
+        x *= 2 - p0 * x;
+    pp.inv = ~x + 1; // negate mod 2^64
+
+    // r1 = 2^(64N) mod p and r2 = 2^(128N) mod p by repeated doubling.
+    BigInt<N> acc = BigInt<N>::one();
+    for (std::size_t i = 0; i < 64 * N; ++i)
+        acc = modAdd(acc, acc, pp.modulus);
+    pp.r1 = acc;
+    for (std::size_t i = 0; i < 64 * N; ++i)
+        acc = modAdd(acc, acc, pp.modulus);
+    pp.r2 = acc;
+
+    BigInt<N>::sub(pp.modulus, BigInt<N>::fromUint64(2), pp.pMinus2);
+    BigInt<N> pm1;
+    BigInt<N>::sub(pp.modulus, BigInt<N>::one(), pm1);
+    pp.pMinus1Half = pm1.shr(1);
+    BigInt<N> pp1;
+    std::uint64_t carry = BigInt<N>::add(pp.modulus, BigInt<N>::one(), pp1);
+    (void)carry; // moduli never fill all N*64 bits in our curves
+    pp.pPlus1Quarter = pp1.shr(2);
+    pp.twoAdicity = pm1.countTrailingZeros();
+
+    // Montgomery-form exponentiation helper for the remaining params.
+    auto mont_pow = [&pp](BigInt<N> base_m, const BigInt<N> &e) {
+        BigInt<N> result = pp.r1;
+        for (std::size_t i = e.numBits(); i-- > 0;) {
+            result = montMul(result, result, pp);
+            if (e.bit(i))
+                result = montMul(result, base_m, pp);
+        }
+        return result;
+    };
+
+    // Smallest quadratic non-residue g (Euler criterion), then the
+    // 2-adic root of unity omega = g^((p-1)/2^s).
+    BigInt<N> minus_one_m = modSub(BigInt<N>::zero(), pp.r1, pp.modulus);
+    for (std::uint64_t g = 2;; ++g) {
+        BigInt<N> gm = montMul(BigInt<N>::fromUint64(g), pp.r2, pp);
+        if (mont_pow(gm, pp.pMinus1Half) == minus_one_m) {
+            pp.generator = g;
+            BigInt<N> odd_part = pm1.shr(pp.twoAdicity);
+            pp.rootOfUnity = mont_pow(gm, odd_part);
+            break;
+        }
+        if (g > 1000)
+            throw std::runtime_error("makeMontParams: no QNR found");
+    }
+    return pp;
+}
+
+/**
+ * A prime-field element in Montgomery form.
+ *
+ * @tparam Tag a config type providing
+ *   - static constexpr std::size_t kLimbs
+ *   - static const char *modulusHex()
+ *   - static const char *name()
+ */
+template <typename Tag>
+class Fp
+{
+  public:
+    static constexpr std::size_t kLimbs = Tag::kLimbs;
+    using Repr = BigInt<kLimbs>;
+
+    /** Lazily built derived parameters (thread-safe magic static). */
+    static const MontParams<kLimbs> &
+    params()
+    {
+        static const MontParams<kLimbs> pp =
+            makeMontParams<kLimbs>(Tag::modulusHex());
+        return pp;
+    }
+
+    static const Repr &modulus() { return params().modulus; }
+    static std::size_t bits() { return params().bits; }
+    static std::size_t twoAdicity() { return params().twoAdicity; }
+
+    constexpr Fp() = default;
+
+    static Fp zero() { return Fp(); }
+
+    static Fp
+    one()
+    {
+        Fp r;
+        r.v_ = params().r1;
+        return r;
+    }
+
+    /** Convert a standard-form integer (must be < p) into the field. */
+    static Fp
+    fromBigInt(const Repr &standard)
+    {
+        assert(standard < modulus());
+        Fp r;
+        r.v_ = montMul(standard, params().r2, params());
+        return r;
+    }
+
+    static Fp
+    fromUint64(std::uint64_t x)
+    {
+        return fromBigInt(Repr::fromUint64(x));
+    }
+
+    static Fp
+    fromHex(const char *hex)
+    {
+        return fromBigInt(Repr::fromHex(hex));
+    }
+
+    /** Back to standard (non-Montgomery) form. */
+    Repr
+    toBigInt() const
+    {
+        return montMul(v_, Repr::one(), params());
+    }
+
+    /** Raw Montgomery representation (for serialization / hashing). */
+    const Repr &raw() const { return v_; }
+
+    static Fp
+    fromRaw(const Repr &mont)
+    {
+        Fp r;
+        r.v_ = mont;
+        return r;
+    }
+
+    bool isZero() const { return v_.isZero(); }
+    bool operator==(const Fp &o) const { return v_ == o.v_; }
+    bool operator!=(const Fp &o) const { return v_ != o.v_; }
+
+    Fp
+    operator+(const Fp &o) const
+    {
+        Fp r;
+        r.v_ = modAdd(v_, o.v_, modulus());
+        return r;
+    }
+
+    Fp
+    operator-(const Fp &o) const
+    {
+        Fp r;
+        r.v_ = modSub(v_, o.v_, modulus());
+        return r;
+    }
+
+    Fp
+    operator-() const
+    {
+        Fp r;
+        r.v_ = v_.isZero() ? v_ : modSub(Repr::zero(), v_, modulus());
+        return r;
+    }
+
+    Fp
+    operator*(const Fp &o) const
+    {
+        Fp r;
+        r.v_ = montMul(v_, o.v_, params());
+        return r;
+    }
+
+    Fp &operator+=(const Fp &o) { return *this = *this + o; }
+    Fp &operator-=(const Fp &o) { return *this = *this - o; }
+    Fp &operator*=(const Fp &o) { return *this = *this * o; }
+
+    Fp squared() const { return *this * *this; }
+    Fp dbl() const { return *this + *this; }
+
+    /** Fixed-width exponentiation (exponent in standard form). */
+    template <std::size_t M>
+    Fp
+    pow(const BigInt<M> &e) const
+    {
+        Fp result = one();
+        for (std::size_t i = e.numBits(); i-- > 0;) {
+            result = result.squared();
+            if (e.bit(i))
+                result *= *this;
+        }
+        return result;
+    }
+
+    Fp pow(std::uint64_t e) const { return pow(BigInt<1>::fromUint64(e)); }
+
+    /** Multiplicative inverse by Fermat; zero maps to zero. */
+    Fp
+    inverse() const
+    {
+        return pow(params().pMinus2);
+    }
+
+    /**
+     * Legendre symbol: +1 residue, -1 non-residue, 0 for zero.
+     */
+    int
+    legendre() const
+    {
+        if (isZero())
+            return 0;
+        Fp e = pow(params().pMinus1Half);
+        return e == one() ? 1 : -1;
+    }
+
+    /**
+     * Square root for p = 3 mod 4 (all our Fq). Throws if no root
+     * exists or the modulus shape is unsupported.
+     */
+    Fp
+    sqrt() const
+    {
+        if (isZero())
+            return zero();
+        if (modulus().limbs[0] % 4 != 3)
+            throw std::logic_error("Fp::sqrt: need p = 3 mod 4");
+        Fp r = pow(params().pPlus1Quarter);
+        if (r.squared() != *this)
+            throw std::domain_error("Fp::sqrt: not a quadratic residue");
+        return r;
+    }
+
+    /** 2^k-th primitive root of unity (k <= twoAdicity). */
+    static Fp
+    rootOfUnity(std::size_t k)
+    {
+        const auto &pp = params();
+        if (k > pp.twoAdicity)
+            throw std::invalid_argument("Fp::rootOfUnity: k too large");
+        Fp w = fromRaw(pp.rootOfUnity);
+        for (std::size_t i = pp.twoAdicity; i > k; --i)
+            w = w.squared();
+        return w;
+    }
+
+    /** Uniform random field element. */
+    template <typename Rng>
+    static Fp
+    random(Rng &rng)
+    {
+        // Rejection sampling on the top limbs keeps this uniform.
+        for (;;) {
+            Repr r = Repr::random(rng);
+            // Mask down to the modulus bit length to speed acceptance.
+            std::size_t top_bits = params().bits % 64;
+            if (top_bits != 0) {
+                r.limbs[kLimbs - 1] &=
+                    (std::uint64_t(-1) >> (64 - top_bits));
+            }
+            if (r < modulus())
+                return fromRaw(r); // uniform over [0,p) in Mont. domain
+        }
+    }
+
+    std::string toHex() const { return toBigInt().toHex(); }
+
+  private:
+    Repr v_; // Montgomery form, always < p
+};
+
+/**
+ * Batch inversion with Montgomery's trick: replaces n inversions by
+ * one inversion plus 3(n-1) multiplications. Zero entries stay zero.
+ */
+template <typename FpT>
+void
+batchInverse(std::vector<FpT> &xs)
+{
+    std::vector<FpT> prefix(xs.size());
+    FpT acc = FpT::one();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        prefix[i] = acc;
+        if (!xs[i].isZero())
+            acc *= xs[i];
+    }
+    FpT inv = acc.inverse();
+    for (std::size_t i = xs.size(); i-- > 0;) {
+        if (xs[i].isZero())
+            continue;
+        FpT x_inv = inv * prefix[i];
+        inv *= xs[i];
+        xs[i] = x_inv;
+    }
+}
+
+} // namespace gzkp::ff
+
+#endif // GZKP_FF_FP_HH

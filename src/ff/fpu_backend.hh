@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Floating-point multiplication backend (paper Section 4.3).
+ *
+ * GZKP's finite-field library exploits the GPU's double-precision
+ * units, which would otherwise idle during integer-heavy ZKP
+ * workloads: a large integer is split into base-2^52 components, each
+ * component pair is multiplied exactly in double precision using
+ * Dekker's two-product (realised here, as on modern GPUs, with a
+ * fused multiply-add to recover the rounding error), and the exact
+ * hi/lo parts are accumulated back into integers.
+ *
+ * On this CPU host the backend serves two purposes:
+ *  1. a functional cross-check -- fpuMul() must agree bit-for-bit
+ *     with the CIOS integer path (tested in tests/ff/);
+ *  2. the source of the op-count ratios the GPU performance model
+ *     uses for the "w. lib" ablations (Figures 8 and 10).
+ */
+
+#ifndef GZKP_FF_FPU_BACKEND_HH
+#define GZKP_FF_FPU_BACKEND_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ff/bigint.hh"
+#include "ff/fp.hh"
+
+namespace gzkp::ff {
+
+/** Operation counts of one FPU-backend multiplication. */
+struct FpuOpCount {
+    std::size_t dmul = 0; //!< double-precision multiplies
+    std::size_t dfma = 0; //!< fused multiply-adds (error recovery)
+    std::size_t iops = 0; //!< 64/128-bit integer ops (carry handling)
+};
+
+/** Base-2^52 digit count for a b-bit integer. */
+inline std::size_t
+fpuDigits(std::size_t bits)
+{
+    return (bits + 51) / 52;
+}
+
+namespace detail {
+
+/** Split an N-limb integer into base-2^52 digits (as exact doubles). */
+template <std::size_t N>
+inline std::vector<double>
+toFpuDigits(const BigInt<N> &v, std::size_t bits)
+{
+    std::size_t n = fpuDigits(bits);
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = double(v.bits(i * 52, 52));
+    return d;
+}
+
+} // namespace detail
+
+/**
+ * Montgomery reduction of a full double-width product. Returns
+ * t * R^-1 mod p, the same value montMul() would produce from the
+ * two original factors.
+ */
+template <std::size_t N>
+inline BigInt<N>
+montReduceWide(const BigInt<2 * N> &wide, const MontParams<N> &pp)
+{
+    std::uint64_t t[2 * N + 1] = {0};
+    for (std::size_t i = 0; i < 2 * N; ++i)
+        t[i] = wide.limbs[i];
+    for (std::size_t i = 0; i < N; ++i) {
+        std::uint64_t m = t[i] * pp.inv;
+        std::uint64_t c = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            uint128 s = uint128(t[i + j]) +
+                uint128(m) * pp.modulus.limbs[j] + c;
+            t[i + j] = std::uint64_t(s);
+            c = std::uint64_t(s >> 64);
+        }
+        // Propagate the carry through the remaining limbs.
+        for (std::size_t j = i + N; c != 0 && j <= 2 * N; ++j) {
+            uint128 s = uint128(t[j]) + c;
+            t[j] = std::uint64_t(s);
+            c = std::uint64_t(s >> 64);
+        }
+    }
+    BigInt<N> r;
+    for (std::size_t i = 0; i < N; ++i)
+        r.limbs[i] = t[N + i];
+    if (t[2 * N] != 0 || r >= pp.modulus) {
+        BigInt<N> tmp;
+        BigInt<N>::sub(r, pp.modulus, tmp);
+        return tmp;
+    }
+    return r;
+}
+
+/**
+ * Field multiplication through the floating-point pipeline.
+ * Functionally identical to FpT::operator*; `count`, when non-null,
+ * accumulates the op mix for the performance model.
+ */
+template <typename FpT>
+FpT
+fpuMul(const FpT &a, const FpT &b, FpuOpCount *count = nullptr)
+{
+    constexpr std::size_t N = FpT::kLimbs;
+    const auto &pp = FpT::params();
+
+    auto da = detail::toFpuDigits(a.raw(), pp.bits);
+    auto db = detail::toFpuDigits(b.raw(), pp.bits);
+    std::size_t n = da.size();
+
+    // Accumulate exact digit products. Each product < 2^104 and each
+    // position receives at most n of them, so a signed 128-bit
+    // accumulator per position cannot overflow for n <= 15.
+    std::vector<__int128> acc(2 * n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double hi = da[i] * db[j];
+            double lo = std::fma(da[i], db[j], -hi); // Dekker error term
+            acc[i + j] += __int128(hi) + __int128(lo);
+            if (count) {
+                ++count->dmul;
+                ++count->dfma;
+            }
+        }
+    }
+
+    // Carry-normalise base-2^52 digits and recompose into limbs.
+    BigInt<2 * N> wide;
+    __int128 carry = 0;
+    for (std::size_t k = 0; k < 2 * n; ++k) {
+        __int128 v = acc[k] + carry;
+        std::uint64_t digit = std::uint64_t(v) & ((std::uint64_t(1) << 52) - 1);
+        carry = v >> 52;
+        // Deposit 52-bit digit at bit offset 52*k.
+        std::size_t bit = 52 * k;
+        if (bit < 128 * N) {
+            wide.limbs[bit / 64] |= digit << (bit % 64);
+            if (bit % 64 > 12 && bit / 64 + 1 < 2 * N)
+                wide.limbs[bit / 64 + 1] |= digit >> (64 - bit % 64);
+        }
+        if (count)
+            count->iops += 4;
+    }
+
+    return FpT::fromRaw(montReduceWide<N>(wide, pp));
+}
+
+/**
+ * Modeled per-multiplication speedup of the FPU backend over the
+ * integer backend, by limb count. Calibrated against the paper's
+ * library ablations: "BG w. lib" gains ~1.6x in NTT (Figure 8) and
+ * ~1.33x in MSM (Figure 10) at 381 bits; wider fields gain slightly
+ * more because DP throughput scales better with digit count on
+ * Volta's 1:2 DP:FP32 ratio.
+ */
+inline double
+fpuBackendSpeedup(std::size_t limbs)
+{
+    if (limbs <= 4)
+        return 1.45;
+    if (limbs <= 6)
+        return 1.60;
+    return 1.70;
+}
+
+} // namespace gzkp::ff
+
+#endif // GZKP_FF_FPU_BACKEND_HH

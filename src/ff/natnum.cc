@@ -1,0 +1,281 @@
+#include "ff/natnum.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gzkp::ff {
+
+NatNum::NatNum(std::uint64_t v)
+{
+    if (v != 0)
+        limbs_.push_back(v);
+}
+
+void
+NatNum::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+NatNum
+NatNum::fromDec(std::string_view s)
+{
+    if (s.empty())
+        throw std::invalid_argument("NatNum::fromDec: empty string");
+    NatNum r;
+    NatNum ten(10);
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("NatNum::fromDec: bad digit");
+        r = r * ten + NatNum(std::uint64_t(c - '0'));
+    }
+    return r;
+}
+
+NatNum
+NatNum::fromHex(std::string_view s)
+{
+    if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+        s.remove_prefix(2);
+    if (s.empty())
+        throw std::invalid_argument("NatNum::fromHex: empty string");
+    NatNum r;
+    r.limbs_.assign((s.size() * 4 + 63) / 64, 0);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[s.size() - 1 - i];
+        std::uint64_t v;
+        if (c >= '0' && c <= '9') v = c - '0';
+        else if (c >= 'a' && c <= 'f') v = 10 + (c - 'a');
+        else if (c >= 'A' && c <= 'F') v = 10 + (c - 'A');
+        else
+            throw std::invalid_argument("NatNum::fromHex: bad digit");
+        r.limbs_[i / 16] |= v << ((i % 16) * 4);
+    }
+    r.trim();
+    return r;
+}
+
+std::string
+NatNum::toHex() const
+{
+    if (isZero())
+        return "0x0";
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    bool started = false;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            unsigned d = (limbs_[i] >> shift) & 0xf;
+            if (d != 0)
+                started = true;
+            if (started)
+                out.push_back(digits[d]);
+        }
+    }
+    return "0x" + out;
+}
+
+std::string
+NatNum::toDec() const
+{
+    if (isZero())
+        return "0";
+    // Repeated division by 10^19 (largest power of ten in a limb).
+    const std::uint64_t chunk = 10000000000000000000ull;
+    NatNum v = *this;
+    std::string out;
+    while (!v.isZero()) {
+        // Divide v by `chunk` in place; collect the remainder.
+        uint128 rem = 0;
+        for (std::size_t i = v.limbs_.size(); i-- > 0;) {
+            uint128 cur = (rem << 64) | v.limbs_[i];
+            v.limbs_[i] = std::uint64_t(cur / chunk);
+            rem = cur % chunk;
+        }
+        v.trim();
+        std::uint64_t r = std::uint64_t(rem);
+        for (int d = 0; d < 19; ++d) {
+            out.push_back(char('0' + r % 10));
+            r /= 10;
+        }
+    }
+    while (out.size() > 1 && out.back() == '0')
+        out.pop_back();
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::size_t
+NatNum::numBits() const
+{
+    if (limbs_.empty())
+        return 0;
+    std::uint64_t top = limbs_.back();
+    std::size_t b = 0;
+    while (top != 0) {
+        top >>= 1;
+        ++b;
+    }
+    return (limbs_.size() - 1) * 64 + b;
+}
+
+bool
+NatNum::bit(std::size_t i) const
+{
+    std::size_t limb = i / 64;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int
+NatNum::cmp(const NatNum &o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] < o.limbs_[i])
+            return -1;
+        if (limbs_[i] > o.limbs_[i])
+            return 1;
+    }
+    return 0;
+}
+
+NatNum
+NatNum::operator+(const NatNum &o) const
+{
+    NatNum r;
+    std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+    r.limbs_.assign(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        uint128 t = uint128(limb(i)) + o.limb(i) + carry;
+        r.limbs_[i] = std::uint64_t(t);
+        carry = std::uint64_t(t >> 64);
+    }
+    r.limbs_[n] = carry;
+    r.trim();
+    return r;
+}
+
+NatNum
+NatNum::operator-(const NatNum &o) const
+{
+    if (*this < o)
+        throw std::underflow_error("NatNum::operator-: negative result");
+    NatNum r;
+    r.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        uint128 t = uint128(limbs_[i]) - o.limb(i) - borrow;
+        r.limbs_[i] = std::uint64_t(t);
+        borrow = (t >> 64) ? 1 : 0;
+    }
+    r.trim();
+    return r;
+}
+
+NatNum
+NatNum::operator*(const NatNum &o) const
+{
+    if (isZero() || o.isZero())
+        return NatNum();
+    NatNum r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+            uint128 t = uint128(limbs_[i]) * o.limbs_[j] +
+                r.limbs_[i + j] + carry;
+            r.limbs_[i + j] = std::uint64_t(t);
+            carry = std::uint64_t(t >> 64);
+        }
+        r.limbs_[i + o.limbs_.size()] += carry;
+    }
+    r.trim();
+    return r;
+}
+
+NatNum
+NatNum::shl(std::size_t bits) const
+{
+    if (isZero())
+        return NatNum();
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    NatNum r;
+    r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        r.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift != 0)
+            r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+    r.trim();
+    return r;
+}
+
+NatNum
+NatNum::shr(std::size_t bits) const
+{
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    if (limb_shift >= limbs_.size())
+        return NatNum();
+    NatNum r;
+    r.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+        r.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+            r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    r.trim();
+    return r;
+}
+
+NatNum
+NatNum::divmod(const NatNum &divisor, NatNum &rem) const
+{
+    if (divisor.isZero())
+        throw std::domain_error("NatNum::divmod: division by zero");
+    NatNum q;
+    NatNum r;
+    if (*this < divisor) {
+        rem = *this;
+        return q;
+    }
+    // Binary long division: one-time setup work only, so O(bits^2)
+    // shift-subtract is perfectly adequate here.
+    std::size_t shift = numBits() - divisor.numBits();
+    NatNum d = divisor.shl(shift);
+    r = *this;
+    q.limbs_.assign(shift / 64 + 1, 0);
+    for (std::size_t i = shift + 1; i-- > 0;) {
+        if (d <= r) {
+            r = r - d;
+            q.limbs_[i / 64] |= std::uint64_t(1) << (i % 64);
+        }
+        d = d.shr(1);
+    }
+    q.trim();
+    rem = r;
+    return q;
+}
+
+NatNum
+NatNum::operator/(const NatNum &o) const
+{
+    NatNum rem;
+    return divmod(o, rem);
+}
+
+NatNum
+NatNum::operator%(const NatNum &o) const
+{
+    NatNum rem;
+    divmod(o, rem);
+    return rem;
+}
+
+} // namespace gzkp::ff

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers for one-time constants.
+ *
+ * NatNum backs computations whose width exceeds any fixed BigInt<N>,
+ * e.g. the ~1270-bit hard-part exponent (q^4 - q^2 + 1) / r of the
+ * BN254 final exponentiation, or decimal parsing of curve constants.
+ * It is deliberately simple (schoolbook everything): all uses are
+ * one-time setup work, never on the proving hot path.
+ */
+
+#ifndef GZKP_FF_NATNUM_HH
+#define GZKP_FF_NATNUM_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ff/bigint.hh"
+
+namespace gzkp::ff {
+
+/**
+ * Arbitrary-precision unsigned integer, little-endian 64-bit limbs.
+ * The limb vector never has trailing zero limbs (canonical form),
+ * and zero is represented by an empty vector.
+ */
+class NatNum
+{
+  public:
+    NatNum() = default;
+
+    explicit NatNum(std::uint64_t v);
+
+    /** Import from a fixed-width integer. */
+    template <std::size_t N>
+    static NatNum
+    fromBigInt(const BigInt<N> &v)
+    {
+        NatNum r;
+        r.limbs_.assign(v.limbs.begin(), v.limbs.end());
+        r.trim();
+        return r;
+    }
+
+    /** Parse a decimal string. Throws on malformed input. */
+    static NatNum fromDec(std::string_view s);
+
+    /** Parse a hex string (optionally "0x"-prefixed). */
+    static NatNum fromHex(std::string_view s);
+
+    /** Export to fixed width; throws std::overflow_error if too big. */
+    template <std::size_t N>
+    BigInt<N>
+    toBigInt() const
+    {
+        if (limbs_.size() > N)
+            throw std::overflow_error("NatNum::toBigInt: too wide");
+        BigInt<N> r;
+        for (std::size_t i = 0; i < limbs_.size(); ++i)
+            r.limbs[i] = limbs_[i];
+        return r;
+    }
+
+    std::string toDec() const;
+    std::string toHex() const;
+
+    bool isZero() const { return limbs_.empty(); }
+    std::size_t numBits() const;
+    bool bit(std::size_t i) const;
+    std::size_t numLimbs() const { return limbs_.size(); }
+    std::uint64_t limb(std::size_t i) const
+    {
+        return i < limbs_.size() ? limbs_[i] : 0;
+    }
+
+    int cmp(const NatNum &o) const;
+    bool operator==(const NatNum &o) const { return cmp(o) == 0; }
+    bool operator!=(const NatNum &o) const { return cmp(o) != 0; }
+    bool operator<(const NatNum &o) const { return cmp(o) < 0; }
+    bool operator<=(const NatNum &o) const { return cmp(o) <= 0; }
+    bool operator>(const NatNum &o) const { return cmp(o) > 0; }
+    bool operator>=(const NatNum &o) const { return cmp(o) >= 0; }
+
+    NatNum operator+(const NatNum &o) const;
+
+    /** Subtraction; throws std::underflow_error if o > *this. */
+    NatNum operator-(const NatNum &o) const;
+
+    NatNum operator*(const NatNum &o) const;
+
+    NatNum shl(std::size_t bits) const;
+    NatNum shr(std::size_t bits) const;
+
+    /**
+     * Long division: returns quotient, stores remainder in `rem`.
+     * Throws std::domain_error on division by zero.
+     */
+    NatNum divmod(const NatNum &divisor, NatNum &rem) const;
+
+    NatNum operator/(const NatNum &o) const;
+    NatNum operator%(const NatNum &o) const;
+
+  private:
+    void trim();
+
+    std::vector<std::uint64_t> limbs_;
+};
+
+} // namespace gzkp::ff
+
+#endif // GZKP_FF_NATNUM_HH

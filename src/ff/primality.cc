@@ -1,0 +1,18 @@
+#include "ff/primality.hh"
+
+namespace gzkp::ff {
+
+NatNum
+modPow(const NatNum &a, const NatNum &e, const NatNum &m)
+{
+    NatNum base = a % m;
+    NatNum result(1);
+    for (std::size_t i = e.numBits(); i-- > 0;) {
+        result = (result * result) % m;
+        if (e.bit(i))
+            result = (result * base) % m;
+    }
+    return result;
+}
+
+} // namespace gzkp::ff

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Miller-Rabin primality testing over NatNum.
+ *
+ * Used by tools/gen_mnt4753_sim to (re)generate the synthetic
+ * 753-bit field pair documented in DESIGN.md, and by tests to verify
+ * that every modulus this library ships is actually prime.
+ */
+
+#ifndef GZKP_FF_PRIMALITY_HH
+#define GZKP_FF_PRIMALITY_HH
+
+#include <cstdint>
+#include <random>
+
+#include "ff/natnum.hh"
+
+namespace gzkp::ff {
+
+/** a^e mod m over NatNum (square-and-multiply; setup-time only). */
+NatNum modPow(const NatNum &a, const NatNum &e, const NatNum &m);
+
+/**
+ * Miller-Rabin with `rounds` random bases.
+ * @retval false definitely composite
+ * @retval true probably prime (error < 4^-rounds)
+ */
+template <typename Rng>
+bool
+isProbablePrime(const NatNum &n, std::size_t rounds, Rng &rng)
+{
+    static const std::uint64_t small_primes[] = {
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+    if (n < NatNum(2))
+        return false;
+    for (std::uint64_t p : small_primes) {
+        NatNum np(p);
+        if (n == np)
+            return true;
+        if ((n % np).isZero())
+            return false;
+    }
+
+    // n - 1 = d * 2^r with d odd.
+    NatNum nm1 = n - NatNum(1);
+    std::size_t r = 0;
+    NatNum d = nm1;
+    while (!d.bit(0)) {
+        d = d.shr(1);
+        ++r;
+    }
+
+    std::uniform_int_distribution<std::uint64_t> dist;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        // Random base in [2, n-2]: draw enough limbs, reduce mod n.
+        NatNum a;
+        for (std::size_t i = 0; i * 64 < n.numBits() + 64; ++i)
+            a = a.shl(64) + NatNum(dist(rng));
+        a = a % (n - NatNum(3)) + NatNum(2);
+
+        NatNum x = modPow(a, d, n);
+        if (x == NatNum(1) || x == nm1)
+            continue;
+        bool witness = true;
+        for (std::size_t i = 0; i + 1 < r; ++i) {
+            x = (x * x) % n;
+            if (x == nm1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+} // namespace gzkp::ff
+
+#endif // GZKP_FF_PRIMALITY_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Extension-field tower Fp2 / Fp6 / Fp12.
+ *
+ * Used for the BN254 G2 group (coordinates in Fp2) and the optimal
+ * ate pairing (Miller loop values in Fp12) that realises the Groth16
+ * verifier. Tower shape is the standard 2-3-2:
+ *
+ *   Fp2  = Fp [u] / (u^2 - beta)      (beta = -1 for BN254)
+ *   Fp6  = Fp2[v] / (v^3 - xi)        (xi = 9 + u for BN254)
+ *   Fp12 = Fp6[w] / (w^2 - v)
+ *
+ * The tower is parameterised by a config type so tests can also
+ * instantiate small sanity towers.
+ */
+
+#ifndef GZKP_FF_TOWER_HH
+#define GZKP_FF_TOWER_HH
+
+#include <cstdint>
+
+#include "ff/bigint.hh"
+
+namespace gzkp::ff {
+
+/**
+ * Quadratic extension Fp2 = Fp[u]/(u^2 - beta).
+ *
+ * @tparam Cfg provides `using Fq = ...;` and
+ *         `static Fq beta()` (the quadratic non-residue).
+ */
+template <typename Cfg>
+class Fp2T
+{
+  public:
+    using Fq = typename Cfg::Fq;
+
+    /** Total 64-bit words per element (size/cost modeling). */
+    static constexpr std::size_t kLimbs = 2 * Fq::kLimbs;
+
+    Fq c0, c1;
+
+    Fp2T() : c0(Fq::zero()), c1(Fq::zero()) {}
+    Fp2T(const Fq &a, const Fq &b) : c0(a), c1(b) {}
+
+    static Fp2T zero() { return Fp2T(); }
+    static Fp2T one() { return Fp2T(Fq::one(), Fq::zero()); }
+
+    bool isZero() const { return c0.isZero() && c1.isZero(); }
+    bool operator==(const Fp2T &o) const
+    {
+        return c0 == o.c0 && c1 == o.c1;
+    }
+    bool operator!=(const Fp2T &o) const { return !(*this == o); }
+
+    Fp2T operator+(const Fp2T &o) const
+    {
+        return Fp2T(c0 + o.c0, c1 + o.c1);
+    }
+    Fp2T operator-(const Fp2T &o) const
+    {
+        return Fp2T(c0 - o.c0, c1 - o.c1);
+    }
+    Fp2T operator-() const { return Fp2T(-c0, -c1); }
+
+    /** Karatsuba multiplication: 3 base-field multiplies. */
+    Fp2T
+    operator*(const Fp2T &o) const
+    {
+        Fq a = c0 * o.c0;
+        Fq b = c1 * o.c1;
+        Fq sum = (c0 + c1) * (o.c0 + o.c1);
+        return Fp2T(a + Cfg::beta() * b, sum - a - b);
+    }
+
+    Fp2T &operator+=(const Fp2T &o) { return *this = *this + o; }
+    Fp2T &operator-=(const Fp2T &o) { return *this = *this - o; }
+    Fp2T &operator*=(const Fp2T &o) { return *this = *this * o; }
+
+    Fp2T
+    squared() const
+    {
+        // Complex squaring: 2 base multiplies.
+        Fq ab = c0 * c1;
+        Fq t = (c0 + c1) * (c0 + Cfg::beta() * c1);
+        return Fp2T(t - ab - Cfg::beta() * ab, ab.dbl());
+    }
+
+    Fp2T dbl() const { return *this + *this; }
+
+    /** Multiply by a base-field scalar. */
+    Fp2T
+    scale(const Fq &s) const
+    {
+        return Fp2T(c0 * s, c1 * s);
+    }
+
+    /** Conjugate: the Frobenius map of a quadratic extension. */
+    Fp2T conjugate() const { return Fp2T(c0, -c1); }
+
+    Fp2T
+    inverse() const
+    {
+        // 1/(c0 + c1 u) = (c0 - c1 u) / (c0^2 - beta c1^2)
+        Fq norm = c0.squared() - Cfg::beta() * c1.squared();
+        Fq ninv = norm.inverse();
+        return Fp2T(c0 * ninv, -(c1 * ninv));
+    }
+
+    template <std::size_t M>
+    Fp2T
+    pow(const BigInt<M> &e) const
+    {
+        Fp2T result = one();
+        for (std::size_t i = e.numBits(); i-- > 0;) {
+            result = result.squared();
+            if (e.bit(i))
+                result *= *this;
+        }
+        return result;
+    }
+
+    template <typename Rng>
+    static Fp2T
+    random(Rng &rng)
+    {
+        return Fp2T(Fq::random(rng), Fq::random(rng));
+    }
+};
+
+/**
+ * Cubic extension Fp6 = Fp2[v]/(v^3 - xi).
+ *
+ * @tparam Cfg provides `using Fp2 = ...;` and `static Fp2 xi()`.
+ */
+template <typename Cfg>
+class Fp6T
+{
+  public:
+    using Fp2 = typename Cfg::Fp2;
+
+    Fp2 c0, c1, c2;
+
+    Fp6T() = default;
+    Fp6T(const Fp2 &a, const Fp2 &b, const Fp2 &c) : c0(a), c1(b), c2(c) {}
+
+    static Fp6T zero() { return Fp6T(); }
+    static Fp6T one()
+    {
+        return Fp6T(Fp2::one(), Fp2::zero(), Fp2::zero());
+    }
+
+    bool isZero() const
+    {
+        return c0.isZero() && c1.isZero() && c2.isZero();
+    }
+    bool operator==(const Fp6T &o) const
+    {
+        return c0 == o.c0 && c1 == o.c1 && c2 == o.c2;
+    }
+    bool operator!=(const Fp6T &o) const { return !(*this == o); }
+
+    Fp6T operator+(const Fp6T &o) const
+    {
+        return Fp6T(c0 + o.c0, c1 + o.c1, c2 + o.c2);
+    }
+    Fp6T operator-(const Fp6T &o) const
+    {
+        return Fp6T(c0 - o.c0, c1 - o.c1, c2 - o.c2);
+    }
+    Fp6T operator-() const { return Fp6T(-c0, -c1, -c2); }
+
+    /** Toom-Cook-ish schoolbook with xi reductions (6 Fp2 muls). */
+    Fp6T
+    operator*(const Fp6T &o) const
+    {
+        Fp2 a0 = c0 * o.c0;
+        Fp2 a1 = c1 * o.c1;
+        Fp2 a2 = c2 * o.c2;
+        Fp2 t0 = (c1 + c2) * (o.c1 + o.c2) - a1 - a2; // c1 o2 + c2 o1
+        Fp2 t1 = (c0 + c1) * (o.c0 + o.c1) - a0 - a1; // c0 o1 + c1 o0
+        Fp2 t2 = (c0 + c2) * (o.c0 + o.c2) - a0 - a2; // c0 o2 + c2 o0
+        return Fp6T(a0 + Cfg::xi() * t0,
+                    t1 + Cfg::xi() * a2,
+                    t2 + a1);
+    }
+
+    Fp6T &operator+=(const Fp6T &o) { return *this = *this + o; }
+    Fp6T &operator-=(const Fp6T &o) { return *this = *this - o; }
+    Fp6T &operator*=(const Fp6T &o) { return *this = *this * o; }
+
+    Fp6T squared() const { return *this * *this; }
+
+    /** Multiply by v: (c0, c1, c2) -> (xi c2, c0, c1). */
+    Fp6T
+    mulByV() const
+    {
+        return Fp6T(Cfg::xi() * c2, c0, c1);
+    }
+
+    Fp6T
+    scale(const Fp2 &s) const
+    {
+        return Fp6T(c0 * s, c1 * s, c2 * s);
+    }
+
+    Fp6T
+    inverse() const
+    {
+        // Standard cubic-extension inversion (see Devegili et al.).
+        Fp2 t0 = c0.squared() - Cfg::xi() * (c1 * c2);
+        Fp2 t1 = Cfg::xi() * c2.squared() - c0 * c1;
+        Fp2 t2 = c1.squared() - c0 * c2;
+        Fp2 denom = c0 * t0 + Cfg::xi() * (c2 * t1) + Cfg::xi() * (c1 * t2);
+        Fp2 dinv = denom.inverse();
+        return Fp6T(t0 * dinv, t1 * dinv, t2 * dinv);
+    }
+
+    template <typename Rng>
+    static Fp6T
+    random(Rng &rng)
+    {
+        return Fp6T(Fp2::random(rng), Fp2::random(rng), Fp2::random(rng));
+    }
+};
+
+/**
+ * Quadratic extension Fp12 = Fp6[w]/(w^2 - v).
+ *
+ * @tparam Cfg provides `using Fp6 = ...;`.
+ */
+template <typename Cfg>
+class Fp12T
+{
+  public:
+    using Fp6 = typename Cfg::Fp6;
+    using Fp2 = typename Fp6::Fp2;
+
+    Fp6 c0, c1;
+
+    Fp12T() = default;
+    Fp12T(const Fp6 &a, const Fp6 &b) : c0(a), c1(b) {}
+
+    static Fp12T zero() { return Fp12T(); }
+    static Fp12T one() { return Fp12T(Fp6::one(), Fp6::zero()); }
+
+    bool isZero() const { return c0.isZero() && c1.isZero(); }
+    bool operator==(const Fp12T &o) const
+    {
+        return c0 == o.c0 && c1 == o.c1;
+    }
+    bool operator!=(const Fp12T &o) const { return !(*this == o); }
+
+    Fp12T operator+(const Fp12T &o) const
+    {
+        return Fp12T(c0 + o.c0, c1 + o.c1);
+    }
+    Fp12T operator-(const Fp12T &o) const
+    {
+        return Fp12T(c0 - o.c0, c1 - o.c1);
+    }
+
+    Fp12T
+    operator*(const Fp12T &o) const
+    {
+        Fp6 a = c0 * o.c0;
+        Fp6 b = c1 * o.c1;
+        Fp6 sum = (c0 + c1) * (o.c0 + o.c1);
+        return Fp12T(a + b.mulByV(), sum - a - b);
+    }
+
+    Fp12T &operator*=(const Fp12T &o) { return *this = *this * o; }
+
+    Fp12T
+    squared() const
+    {
+        Fp6 ab = c0 * c1;
+        Fp6 t = (c0 + c1) * (c0 + c1.mulByV());
+        return Fp12T(t - ab - ab.mulByV(), ab + ab);
+    }
+
+    /** Conjugate over Fp6 (the "easy" unitary inverse). */
+    Fp12T conjugate() const { return Fp12T(c0, -c1); }
+
+    Fp12T
+    inverse() const
+    {
+        Fp6 denom = c0.squared() - c1.squared().mulByV();
+        Fp6 dinv = denom.inverse();
+        return Fp12T(c0 * dinv, -(c1 * dinv));
+    }
+
+    template <std::size_t M>
+    Fp12T
+    pow(const BigInt<M> &e) const
+    {
+        Fp12T result = one();
+        for (std::size_t i = e.numBits(); i-- > 0;) {
+            result = result.squared();
+            if (e.bit(i))
+                result *= *this;
+        }
+        return result;
+    }
+
+    template <typename Rng>
+    static Fp12T
+    random(Rng &rng)
+    {
+        return Fp12T(Fp6::random(rng), Fp6::random(rng));
+    }
+};
+
+} // namespace gzkp::ff
+
+#endif // GZKP_FF_TOWER_HH

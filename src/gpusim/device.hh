@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Modeled GPU device configurations.
+ *
+ * The paper evaluates on NVIDIA Tesla V100 (32 GB) and GTX 1080 Ti
+ * (11 GB). This environment has no GPU, so GZKP-CPP substitutes an
+ * analytic device model in the gem5 tradition: kernels execute
+ * functionally on the host while their operation and memory-
+ * transaction counts are converted to modeled GPU time by a roofline
+ * performance model (see perf_model.hh). The parameters below are
+ * public datasheet numbers.
+ */
+
+#ifndef GZKP_GPUSIM_DEVICE_HH
+#define GZKP_GPUSIM_DEVICE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gzkp::gpusim {
+
+/** Static description of one modeled GPU. */
+struct DeviceConfig {
+    std::string name;
+    std::size_t numSMs = 0;
+    std::size_t sharedMemPerSMBytes = 0;
+    std::size_t maxThreadsPerBlock = 1024;
+    std::size_t warpSize = 32;
+    std::size_t l2LineBytes = 32;     //!< L2 sector size (paper S3)
+    double clockGHz = 0;
+    double memBandwidthGBps = 0;      //!< global-memory peak
+    std::uint64_t globalMemBytes = 0;
+    double pcieGBps = 12.0;           //!< host <-> device transfers
+    double kernelLaunchSeconds = 5e-6;
+    double blockDispatchCycles = 300; //!< per-block scheduling cost
+
+    /**
+     * DRAM inefficiency for scattered traffic: lines fetched by low-
+     * utilisation (gather/scatter) streams cost up to this factor
+     * more than streaming lines, reflecting row-buffer misses and
+     * transaction-queue pressure. Applied as
+     *   1 + rowMissFactor * (1 - line utilisation).
+     */
+    double rowMissFactor = 3.0;
+
+    /**
+     * Issue throughput per SM per cycle. Field multiplication is
+     * dominated by 32-bit integer multiply-accumulate; the FP path
+     * additionally uses the double-precision FMA pipes.
+     */
+    double int32MacPerSMPerCycle = 0;
+    double dpFmaPerSMPerCycle = 0;
+
+    /** Tesla V100-SXM2-32GB. */
+    static DeviceConfig
+    v100()
+    {
+        DeviceConfig d;
+        d.name = "Tesla V100";
+        d.numSMs = 80;
+        d.sharedMemPerSMBytes = 48 * 1024;
+        d.clockGHz = 1.38;
+        d.memBandwidthGBps = 900.0;
+        d.globalMemBytes = 32ull << 30;
+        d.int32MacPerSMPerCycle = 64;
+        d.dpFmaPerSMPerCycle = 32; // 1:2 DP ratio on GV100
+        return d;
+    }
+
+    /** GeForce GTX 1080 Ti (lower SM count, bandwidth, and DP). */
+    static DeviceConfig
+    gtx1080ti()
+    {
+        DeviceConfig d;
+        d.name = "GTX 1080 Ti";
+        d.numSMs = 28;
+        d.sharedMemPerSMBytes = 48 * 1024;
+        d.clockGHz = 1.58;
+        d.memBandwidthGBps = 484.0;
+        d.globalMemBytes = 11ull << 30;
+        d.int32MacPerSMPerCycle = 64;
+        d.dpFmaPerSMPerCycle = 2; // 1:32 DP ratio on GP102
+        return d;
+    }
+};
+
+} // namespace gzkp::gpusim
+
+#endif // GZKP_GPUSIM_DEVICE_HH

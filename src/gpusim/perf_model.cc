@@ -1,0 +1,85 @@
+#include "gpusim/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ff/fpu_backend.hh"
+
+namespace gzkp::gpusim {
+
+double
+fpuSpeedupOnDevice(const DeviceConfig &dev, std::size_t limbs)
+{
+    double ideal = ff::fpuBackendSpeedup(limbs);
+    // The library's gain assumes DP pipes at >= half the INT32 rate
+    // (Volta). Scale the gain down linearly with the DP:INT ratio.
+    double dp_ratio = dev.dpFmaPerSMPerCycle /
+        std::max(1.0, dev.int32MacPerSMPerCycle);
+    double avail = std::min(1.0, dp_ratio / 0.5);
+    return 1.0 + (ideal - 1.0) * avail;
+}
+
+double
+modelComputeSeconds(const KernelStats &s, const DeviceConfig &dev,
+                    Backend backend)
+{
+    double macs = s.fieldMuls * macsPerFieldMul(s.limbs) +
+        s.fieldAdds * macsPerFieldAdd(s.limbs);
+
+    // SMs actually occupied: with fewer blocks than SMs, the rest of
+    // the chip idles (the paper's Figure 8 discussion at 2^18).
+    double active_sms = dev.numSMs;
+    if (s.numBlocks > 0)
+        active_sms = std::min<double>(dev.numSMs, double(s.numBlocks));
+
+    double issue = dev.int32MacPerSMPerCycle * active_sms *
+        dev.clockGHz * 1e9 * kIssueEfficiency;
+    if (backend == Backend::FpuLib) {
+        double gain = fpuSpeedupOnDevice(dev, s.limbs) - 1.0;
+        issue *= 1.0 + gain * s.libGainFactor;
+    }
+
+    issue *= s.idleLaneFactor;          // idle warp lanes
+    issue /= s.loadImbalanceFactor;     // straggler SMs
+
+    return issue > 0 ? macs / issue : 0;
+}
+
+double
+modelMemorySeconds(const KernelStats &s, const DeviceConfig &dev)
+{
+    double bytes = double(s.linesTouched) * dev.l2LineBytes;
+    double util = 1.0;
+    if (bytes > 0)
+        util = std::min(1.0, double(s.usefulBytes) / bytes);
+    double penalty = 1.0 + dev.rowMissFactor * (1.0 - util);
+    return bytes * penalty / (dev.memBandwidthGBps * 1e9);
+}
+
+double
+modelSeconds(const KernelStats &s, const DeviceConfig &dev, Backend backend)
+{
+    double compute = modelComputeSeconds(s, dev, backend);
+    double memory = modelMemorySeconds(s, dev);
+
+    double dispatch = double(s.numBlocks) * dev.blockDispatchCycles /
+        (dev.clockGHz * 1e9 * dev.numSMs);
+    double launch = double(s.numLaunches) * dev.kernelLaunchSeconds;
+    double pcie = s.pcieBytes / (dev.pcieGBps * 1e9);
+
+    return std::max(compute, memory) + dispatch + launch +
+        s.hostSeconds + pcie;
+}
+
+double
+cpuModelSeconds(const CpuStats &s, const CpuConfig &cpu)
+{
+    double serial_ns = s.fieldMuls * cpu.mulNs(s.limbs) +
+        s.fieldAdds * cpu.addNs(s.limbs);
+    double par = double(cpu.threads) * cpu.parallelEfficiency;
+    double t = serial_ns * (s.serialFraction +
+                            (1.0 - s.serialFraction) / par);
+    return t * 1e-9;
+}
+
+} // namespace gzkp::gpusim

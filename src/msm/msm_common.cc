@@ -1,0 +1,35 @@
+#include "msm/msm_common.hh"
+
+#include <algorithm>
+
+namespace gzkp::msm {
+
+std::vector<TaskGroup>
+groupTasksByLoad(const std::vector<std::uint64_t> &loads,
+                 std::size_t num_groups)
+{
+    std::vector<std::uint64_t> nonzero;
+    for (std::uint64_t l : loads)
+        if (l != 0)
+            nonzero.push_back(l);
+    std::vector<TaskGroup> out;
+    if (nonzero.empty())
+        return out;
+    std::sort(nonzero.begin(), nonzero.end(), std::greater<>());
+
+    // Equal-population bands over the sorted loads, heaviest first;
+    // tasks inside a band have similar workloads by construction.
+    std::size_t per = std::max<std::size_t>(1,
+        (nonzero.size() + num_groups - 1) / num_groups);
+    for (std::size_t i = 0; i < nonzero.size(); i += per) {
+        std::size_t j = std::min(i + per, nonzero.size());
+        TaskGroup g;
+        g.maxLoad = nonzero[i];
+        g.minLoad = nonzero[j - 1];
+        g.tasks = j - i;
+        out.push_back(g);
+    }
+    return out;
+}
+
+} // namespace gzkp::msm

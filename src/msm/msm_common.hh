@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared MSM utilities: window digit extraction, the naive reference,
+ * and bucket-load histograms (paper Figure 6).
+ *
+ * An MSM instance is s . P = sum_i s_i (x) P_i with s_i in Fr and P_i
+ * affine points (Section 2.3). All algorithm variants in this module
+ * take the same (points, scalars) inputs and must agree exactly.
+ */
+
+#ifndef GZKP_MSM_MSM_COMMON_HH
+#define GZKP_MSM_MSM_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/point.hh"
+
+namespace gzkp::msm {
+
+/** PADD cost in field multiplications (Jacobian mixed / full / dbl). */
+inline constexpr double kMulsPerMixedAdd = 11.0;
+inline constexpr double kMulsPerFullAdd = 16.0;
+inline constexpr double kMulsPerDbl = 8.0;
+inline constexpr double kAddsPerPadd = 7.0;
+
+/** Number of k-bit windows covering an l-bit scalar. */
+inline std::size_t
+windowCount(std::size_t scalar_bits, std::size_t k)
+{
+    return (scalar_bits + k - 1) / k;
+}
+
+/** Digit of `s` in window `t` under base 2^k. */
+template <std::size_t M>
+inline std::uint64_t
+windowDigit(const ff::BigInt<M> &s, std::size_t t, std::size_t k)
+{
+    return s.bits(t * k, k);
+}
+
+/** Convert scalars to standard (non-Montgomery) form once. */
+template <typename Scalar>
+std::vector<typename Scalar::Repr>
+scalarsToRepr(const std::vector<Scalar> &scalars)
+{
+    std::vector<typename Scalar::Repr> out;
+    out.reserve(scalars.size());
+    for (const auto &s : scalars)
+        out.push_back(s.toBigInt());
+    return out;
+}
+
+/**
+ * Naive reference MSM: sum of PMULs (Figure 1's definition).
+ * O(N * l) doublings -- test oracle only.
+ */
+template <typename Cfg>
+ec::ECPoint<Cfg>
+msmNaive(const std::vector<ec::AffinePoint<Cfg>> &points,
+         const std::vector<typename Cfg::Scalar> &scalars)
+{
+    ec::ECPoint<Cfg> acc;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        acc += ec::ECPoint<Cfg>::fromAffine(points[i])
+                   .mul(scalars[i].toBigInt());
+    }
+    return acc;
+}
+
+/**
+ * Per-bucket point counts for GZKP's cross-window bucketing: entry d
+ * counts the (window, element) pairs whose digit equals d, over all
+ * windows (bucket 0 is excluded -- it needs no processing).
+ * This is the raw data behind Figure 6.
+ */
+template <typename Scalar>
+std::vector<std::uint64_t>
+bucketLoadHistogram(const std::vector<Scalar> &scalars, std::size_t k)
+{
+    std::size_t l = Scalar::bits();
+    std::size_t windows = windowCount(l, k);
+    std::vector<std::uint64_t> load(std::size_t(1) << k, 0);
+    for (const auto &s : scalars) {
+        auto r = s.toBigInt();
+        for (std::size_t t = 0; t < windows; ++t) {
+            std::uint64_t d = windowDigit(r, t, k);
+            if (d != 0)
+                ++load[d];
+        }
+    }
+    load[0] = 0;
+    return load;
+}
+
+/**
+ * Group bucket loads into bands of similar workload (the histogram
+ * bars of Figure 6 / the "similar task groups" of Section 4.2).
+ * Returns (loadUpperBound, taskCount) pairs, heaviest first.
+ */
+struct TaskGroup {
+    std::uint64_t minLoad;
+    std::uint64_t maxLoad;
+    std::size_t tasks;
+};
+
+std::vector<TaskGroup>
+groupTasksByLoad(const std::vector<std::uint64_t> &loads,
+                 std::size_t num_groups = 8);
+
+} // namespace gzkp::msm
+
+#endif // GZKP_MSM_MSM_COMMON_HH

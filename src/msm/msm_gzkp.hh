@@ -1,0 +1,420 @@
+/**
+ * @file
+ * The GZKP MSM engine (paper Section 4).
+ *
+ * Three ideas compose (Figure 5):
+ *
+ *  1. Computation consolidation: the sub-MSM split is discarded and
+ *     *all* windows are folded into a single set of 2^k cross-window
+ *     buckets. Points are made window-less in advance by
+ *     preprocessing the weighted points 2^(t*k) (x) P_i; with the
+ *     checkpoint interval M (Algorithm 1), only every M-th window's
+ *     weights are stored, trading at most (M-1)*k extra doublings for
+ *     an M-fold memory reduction. After merging, a single bucket
+ *     reduction finishes the job -- the window-reduction step is gone.
+ *
+ *  2. Space-efficient preprocessing: the bucket-info array p_index
+ *     packs (window, element) as t*N + r, sorted by bucket.
+ *
+ *  3. Workload management (Section 4.2): buckets are grouped into
+ *     similar-load task groups, scheduled heaviest-first, with warps
+ *     allocated proportionally to load.
+ *
+ * Both readings of Algorithm 1 are implemented: the literal per-point
+ * doubling chain (CheckpointMode::PerPoint) and the per-bucket Horner
+ * variant that honours the same "(M-1)*k PADDs" bound while sharing
+ * the doubling chains (CheckpointMode::Horner, the default -- see the
+ * checkpoint ablation bench).
+ */
+
+#ifndef GZKP_MSM_MSM_GZKP_HH
+#define GZKP_MSM_MSM_GZKP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/device.hh"
+#include "gpusim/perf_model.hh"
+#include "msm/msm_common.hh"
+
+namespace gzkp::msm {
+
+enum class CheckpointMode {
+    PerPoint, //!< Algorithm 1 literal: doubling chain per entry
+    Horner,   //!< per-delta partial sums, one chain per bucket
+};
+
+/**
+ * Sustained fraction of warp issue slots when a PADD is spread
+ * across a cooperative group: the add/double formulas are a serial
+ * dependency chain, so CG lanes stall between steps.
+ */
+inline constexpr double kCgEfficiency = 0.6;
+
+template <typename Cfg>
+class GzkpMsm
+{
+  public:
+    using Point = ec::ECPoint<Cfg>;
+    using Affine = ec::AffinePoint<Cfg>;
+    using Scalar = typename Cfg::Scalar;
+
+    struct Options {
+        std::size_t k = 0;           //!< window bits; 0 = profile
+        std::size_t checkpointM = 0; //!< 0 = fit the memory budget
+        CheckpointMode mode = CheckpointMode::Horner;
+        bool loadBalance = true;
+        double memoryBudgetFraction = 0.6;
+    };
+
+    /** The preprocessed (weighted, checkpointed) point set. */
+    struct Preprocessed {
+        std::size_t n = 0;
+        std::size_t k = 0;
+        std::size_t m = 1;           //!< checkpoint interval M
+        std::size_t windows = 0;
+        std::size_t checkpoints = 0; //!< ceil(windows / M)
+        /** pre[c * n + i] = 2^(c*M*k) * P_i, affine. */
+        std::vector<Affine> pre;
+
+        std::uint64_t
+        memoryBytes() const
+        {
+            std::uint64_t pt = 2 * Cfg::Field::kLimbs * 8;
+            std::uint64_t sc = Scalar::kLimbs * 8;
+            // Checkpoint tables + scalars + p_index entries.
+            return pre.size() * pt + std::uint64_t(n) * sc +
+                std::uint64_t(n) * windows * 8;
+        }
+    };
+
+    explicit GzkpMsm(const Options &opt = Options(),
+                     const gpusim::DeviceConfig &dev =
+                         gpusim::DeviceConfig::v100())
+        : opt_(opt), dev_(dev)
+    {}
+
+    /** Window bits actually used for an instance of size n. */
+    std::size_t
+    window(std::size_t n) const
+    {
+        return opt_.k != 0 ? opt_.k : profileWindow(n, dev_);
+    }
+
+    /** Checkpoint interval actually used for an instance of size n. */
+    std::size_t
+    checkpointInterval(std::size_t n) const
+    {
+        if (opt_.checkpointM != 0)
+            return opt_.checkpointM;
+        return autoInterval(n, window(n), dev_, opt_.memoryBudgetFraction);
+    }
+
+    /**
+     * One-time preprocessing of a fixed point vector (the proving
+     * key never changes per application -- Section 4.1).
+     */
+    Preprocessed
+    preprocess(const std::vector<Affine> &points) const
+    {
+        std::size_t n = points.size();
+        Preprocessed pp;
+        pp.n = n;
+        pp.k = window(n);
+        pp.m = checkpointInterval(n);
+        pp.windows = windowCount(Scalar::bits(), pp.k);
+        pp.checkpoints = (pp.windows + pp.m - 1) / pp.m;
+
+        std::vector<Point> cur(n);
+        for (std::size_t i = 0; i < n; ++i)
+            cur[i] = Point::fromAffine(points[i]);
+        pp.pre.reserve(pp.checkpoints * n);
+        for (std::size_t c = 0; c < pp.checkpoints; ++c) {
+            if (c != 0) {
+                // Advance every point by M*k doublings.
+                for (std::size_t i = 0; i < n; ++i) {
+                    for (std::size_t d = 0; d < pp.m * pp.k; ++d)
+                        cur[i] = cur[i].dbl();
+                }
+            }
+            auto aff = ec::batchToAffine<Cfg>(cur);
+            pp.pre.insert(pp.pre.end(), aff.begin(), aff.end());
+        }
+        return pp;
+    }
+
+    /** Functional MSM over a preprocessed point set. */
+    Point
+    run(const Preprocessed &pp, const std::vector<Scalar> &scalars) const
+    {
+        if (scalars.size() != pp.n)
+            throw std::invalid_argument("GzkpMsm::run: size mismatch");
+        auto repr = scalarsToRepr(scalars);
+        std::size_t nbuckets = std::size_t(1) << pp.k;
+
+        std::vector<Point> buckets(nbuckets);
+        if (opt_.mode == CheckpointMode::Horner) {
+            // Partial accumulators A[d][delta], delta = t mod M.
+            std::vector<Point> acc(nbuckets * pp.m);
+            for (std::size_t i = 0; i < pp.n; ++i) {
+                for (std::size_t t = 0; t < pp.windows; ++t) {
+                    std::uint64_t d = windowDigit(repr[i], t, pp.k);
+                    if (d == 0)
+                        continue;
+                    std::size_t c = t / pp.m, delta = t % pp.m;
+                    acc[d * pp.m + delta] =
+                        acc[d * pp.m + delta].addMixed(
+                            pp.pre[c * pp.n + i]);
+                }
+            }
+            for (std::size_t d = 1; d < nbuckets; ++d) {
+                Point x = acc[d * pp.m + pp.m - 1];
+                for (std::size_t delta = pp.m - 1; delta-- > 0;) {
+                    for (std::size_t j = 0; j < pp.k; ++j)
+                        x = x.dbl();
+                    x += acc[d * pp.m + delta];
+                }
+                buckets[d] = x;
+            }
+        } else {
+            // Algorithm 1, literal: per-entry doubling chains.
+            for (std::size_t i = 0; i < pp.n; ++i) {
+                for (std::size_t t = 0; t < pp.windows; ++t) {
+                    std::uint64_t d = windowDigit(repr[i], t, pp.k);
+                    if (d == 0)
+                        continue;
+                    std::size_t c = t / pp.m, delta = t % pp.m;
+                    Point tmp = Point::fromAffine(pp.pre[c * pp.n + i]);
+                    for (std::size_t j = 0; j < delta * pp.k; ++j)
+                        tmp = tmp.dbl();
+                    buckets[d] += tmp;
+                }
+            }
+        }
+
+        // Single bucket reduction (parallel prefix sum on the GPU;
+        // same operation count): sum_d d * B_d via suffix sums.
+        Point acc, sum;
+        for (std::size_t d = nbuckets; d-- > 1;) {
+            acc += buckets[d];
+            sum += acc;
+        }
+        return sum;
+    }
+
+    /** Convenience: preprocess + run in one call. */
+    Point
+    run(const std::vector<Affine> &points,
+        const std::vector<Scalar> &scalars) const
+    {
+        return run(preprocess(points), scalars);
+    }
+
+    /** Total device memory footprint in bytes (Figure 9). */
+    std::uint64_t
+    memoryBytes(std::size_t n) const
+    {
+        return memoryForParams(n, window(n), checkpointInterval(n));
+    }
+
+    /**
+     * Memory for explicit (k, M). The bucket-info array p_index is
+     * built and consumed in window segments, so its resident size is
+     * capped (space-efficient preprocessing, Section 4.1).
+     */
+    static std::uint64_t
+    memoryForParams(std::size_t n, std::size_t k, std::size_t m)
+    {
+        std::size_t windows = windowCount(Scalar::bits(), k);
+        std::size_t cps = (windows + m - 1) / m;
+        std::uint64_t pt = 2 * Cfg::Field::kLimbs * 8;
+        std::uint64_t proj = 3 * Cfg::Field::kLimbs * 8;
+        std::uint64_t p_index = std::min<std::uint64_t>(
+            std::uint64_t(n) * windows * 8, kPIndexSegmentBytes);
+        return std::uint64_t(cps) * n * pt +         // checkpoints
+            std::uint64_t(n) * Scalar::kLimbs * 8 +  // scalars
+            p_index +                                // bucket info
+            (std::uint64_t(1) << k) * m * proj;      // accumulators
+    }
+
+    /** Resident cap for the segmented p_index array (4 GB). */
+    static constexpr std::uint64_t kPIndexSegmentBytes = 4ull << 30;
+
+    /**
+     * Kernel statistics. With `scalars`, entry counts and the
+     * imbalance factor come from the real digit distribution;
+     * otherwise a dense distribution is assumed.
+     */
+    gpusim::KernelStats
+    gpuStats(std::size_t n, const gpusim::DeviceConfig &dev,
+             const std::vector<Scalar> *scalars = nullptr) const
+    {
+        std::size_t k = window(n);
+        std::size_t m = checkpointInterval(n);
+        return statsForParams(n, k, m, dev, opt_, scalars);
+    }
+
+    /**
+     * Profiling-based window configuration (Section 4.1): pick the
+     * k minimising modeled time for this size and device.
+     */
+    static std::size_t
+    profileWindow(std::size_t n, const gpusim::DeviceConfig &dev,
+                  const Options &opt = Options())
+    {
+        std::size_t best_k = 8;
+        double best_t = -1;
+        for (std::size_t k = 6; k <= 18; ++k) {
+            std::size_t m = opt.checkpointM
+                ? opt.checkpointM
+                : autoInterval(n, k, dev, opt.memoryBudgetFraction);
+            auto st = statsForParams(n, k, m, dev, opt, nullptr);
+            double t = gpusim::modelSeconds(st, dev,
+                                            gpusim::Backend::FpuLib);
+            if (best_t < 0 || t < best_t) {
+                best_t = t;
+                best_k = k;
+            }
+        }
+        return best_k;
+    }
+
+    /**
+     * Smallest checkpoint interval M whose tables fit the memory
+     * budget (Algorithm 1's control knob).
+     */
+    static std::size_t
+    autoInterval(std::size_t n, std::size_t k,
+                 const gpusim::DeviceConfig &dev, double budget_frac)
+    {
+        std::size_t windows = windowCount(Scalar::bits(), k);
+        std::uint64_t budget =
+            std::uint64_t(double(dev.globalMemBytes) * budget_frac);
+        for (std::size_t m = 1; m < windows; ++m) {
+            if (memoryForParams(n, k, m) <= budget)
+                return m;
+        }
+        return windows; // single checkpoint (base points only)
+    }
+
+  private:
+    static gpusim::KernelStats
+    statsForParams(std::size_t n, std::size_t k, std::size_t m,
+                   const gpusim::DeviceConfig &dev, const Options &opt,
+                   const std::vector<Scalar> *scalars)
+    {
+        std::size_t windows = windowCount(Scalar::bits(), k);
+        double nbuckets = double(std::size_t(1) << k);
+        std::size_t pt_bytes = 2 * Cfg::Field::kLimbs * 8;
+
+        double entries;
+        double imbalance;
+        if (scalars) {
+            auto hist = bucketLoadHistogram(*scalars, k);
+            entries = double(std::accumulate(hist.begin(), hist.end(),
+                                             std::uint64_t(0)));
+            imbalance = imbalanceFromHistogram(hist, dev,
+                                               opt.loadBalance);
+        } else {
+            entries = double(n) * double(windows) *
+                (nbuckets - 1.0) / nbuckets;
+            imbalance = opt.loadBalance ? 1.05 : 1.25;
+        }
+
+        // Merging sums each bucket with a warp-level tree reduction
+        // over cooperative groups: adds are Jacobian-Jacobian (full)
+        // rather than running mixed adds.
+        double merge_full = entries;
+        double dbls, horner_adds;
+        if (opt.mode == CheckpointMode::Horner) {
+            dbls = nbuckets * double(m - 1) * double(k);
+            horner_adds = nbuckets * double(m - 1);
+        } else {
+            // Average per-entry chain length: k * (M-1)/2 doublings.
+            dbls = entries * double(k) * double(m - 1) / 2.0;
+            horner_adds = 0;
+        }
+        double reduce = 2.0 * nbuckets;
+
+        gpusim::KernelStats st;
+        st.limbs = Cfg::Field::kLimbs;
+        st.fieldMuls = merge_full * kMulsPerFullAdd +
+            dbls * kMulsPerDbl +
+            (horner_adds + reduce) * kMulsPerFullAdd;
+        st.fieldAdds =
+            (merge_full + dbls + horner_adds + reduce) * kAddsPerPadd;
+
+        // Memory: each entry reads its p_index slot and gathers one
+        // preprocessed point; points are 3+ full L2 lines each, so
+        // gathers stay line-efficient (modest 1.15 overfetch).
+        double bytes = entries * (double(pt_bytes) + 8.0) +
+            double(n) * Scalar::kLimbs * 8.0;
+        st.usefulBytes = std::uint64_t(bytes);
+        st.linesTouched =
+            std::uint64_t(bytes / dev.l2LineBytes * 1.15);
+        st.numBlocks = std::max<std::size_t>(
+            dev.numSMs, std::size_t(nbuckets) / 8);
+        // Cooperative groups parallelise inside each PADD, but the
+        // addition formulas are a sequential dependency chain, so CG
+        // lanes stall part of the time and the FP-library's gain is
+        // only partially realised (Figure 10: +33%, not +60%).
+        st.idleLaneFactor = kCgEfficiency;
+        st.libGainFactor = 0.55;
+        st.loadImbalanceFactor = imbalance;
+        st.numLaunches = 3; // merge, Horner, reduce
+        return st;
+    }
+
+    /**
+     * Makespan ratio of bucket tasks on the device's warp slots,
+     * with or without the Section 4.2 scheduling policy.
+     */
+    static double
+    imbalanceFromHistogram(const std::vector<std::uint64_t> &hist,
+                           const gpusim::DeviceConfig &dev,
+                           bool load_balance)
+    {
+        std::vector<std::uint64_t> loads;
+        for (auto l : hist)
+            if (l != 0)
+                loads.push_back(l);
+        if (loads.empty())
+            return 1.0;
+        double total = double(std::accumulate(loads.begin(), loads.end(),
+                                              std::uint64_t(0)));
+        // Concurrent warp slots available for bucket tasks.
+        std::size_t slots = dev.numSMs *
+            (dev.maxThreadsPerBlock / dev.warpSize);
+
+        if (load_balance) {
+            // Heaviest-first (LPT) scheduling with warps allocated
+            // proportionally to load (Figure 7: heavy buckets get
+            // several warps). A task's finish time is its load over
+            // its warp share; the makespan approaches the mean.
+            std::sort(loads.begin(), loads.end(), std::greater<>());
+            double mean_finish = total / double(std::min(
+                loads.size(), slots));
+            double share = std::max(1.0, double(slots) *
+                double(loads.front()) / total);
+            double bound = double(loads.front()) / share;
+            return std::max(1.0, std::max(mean_finish, bound) /
+                                     mean_finish) * 1.02;
+        }
+
+        // Unordered one-warp-per-task: expected makespan grows with
+        // the max/mean spread of the final wave.
+        double mean = total / double(loads.size());
+        double mx = double(*std::max_element(loads.begin(), loads.end()));
+        return std::max(1.25, 0.5 * (1.0 + mx / mean));
+    }
+
+    Options opt_;
+    gpusim::DeviceConfig dev_;
+};
+
+} // namespace gzkp::msm
+
+#endif // GZKP_MSM_MSM_GZKP_HH

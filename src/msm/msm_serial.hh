@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CPU baseline MSMs.
+ *
+ * - PippengerSerial: the libsnark-like bucket method ("Best-CPU" in
+ *   Tables 2 and 7): per window, group points by digit into buckets,
+ *   sum each bucket, reduce buckets with the running-suffix trick,
+ *   then combine windows by k doublings (Horner).
+ * - Cost statistics feed the CPU roofline model of gpusim.
+ */
+
+#ifndef GZKP_MSM_MSM_SERIAL_HH
+#define GZKP_MSM_MSM_SERIAL_HH
+
+#include <cmath>
+#include <vector>
+
+#include "gpusim/perf_model.hh"
+#include "msm/msm_common.hh"
+
+namespace gzkp::msm {
+
+/** libsnark-style window choice: roughly log2(N) - 4, in [2, 16]. */
+inline std::size_t
+pippengerWindow(std::size_t n)
+{
+    std::size_t k = 2;
+    while ((std::size_t(1) << (k + 4)) < n && k < 16)
+        ++k;
+    return k;
+}
+
+template <typename Cfg>
+class PippengerSerial
+{
+  public:
+    using Point = ec::ECPoint<Cfg>;
+    using Affine = ec::AffinePoint<Cfg>;
+    using Scalar = typename Cfg::Scalar;
+
+    explicit PippengerSerial(std::size_t k = 0) : k_(k) {}
+
+    Point
+    run(const std::vector<Affine> &points,
+        const std::vector<Scalar> &scalars) const
+    {
+        std::size_t n = points.size();
+        std::size_t k = k_ ? k_ : pippengerWindow(n);
+        std::size_t l = Scalar::bits();
+        std::size_t windows = windowCount(l, k);
+        auto repr = scalarsToRepr(scalars);
+
+        Point result;
+        std::vector<Point> buckets(std::size_t(1) << k);
+        for (std::size_t t = windows; t-- > 0;) {
+            // Horner combine: shift the accumulator one window up.
+            for (std::size_t d = 0; d < k; ++d)
+                result = result.dbl();
+
+            for (auto &b : buckets)
+                b = Point::identity();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t d = windowDigit(repr[i], t, k);
+                if (d != 0)
+                    buckets[d] = buckets[d].addMixed(points[i]);
+            }
+
+            // Bucket reduction: sum_d d * B_d via suffix sums.
+            Point acc, sum;
+            for (std::size_t d = buckets.size(); d-- > 1;) {
+                acc += buckets[d];
+                sum += acc;
+            }
+            result += sum;
+        }
+        return result;
+    }
+
+    /**
+     * Operation counts for the CPU model. With `scalars`, the
+     * bucket-insert work counts only nonzero window digits (the
+     * library skips them), which matters a lot for real-world
+     * sparse vectors; otherwise a dense distribution is assumed.
+     */
+    gpusim::CpuStats
+    stats(std::size_t n,
+          const std::vector<Scalar> *scalars = nullptr) const
+    {
+        std::size_t k = k_ ? k_ : pippengerWindow(n);
+        std::size_t l = Scalar::bits();
+        double windows = double(windowCount(l, k));
+        double buckets = double(std::size_t(1) << k);
+
+        double mixed_adds = windows * double(n);
+        if (scalars) {
+            auto hist = bucketLoadHistogram(*scalars, k);
+            double nz = 0;
+            for (auto h : hist)
+                nz += double(h);
+            mixed_adds = nz;
+        }
+        double full_adds = windows * buckets * 2.0;
+        double dbls = windows * double(k);
+
+        gpusim::CpuStats s;
+        s.limbs = Cfg::Field::kLimbs;
+        s.fieldMuls = mixed_adds * kMulsPerMixedAdd +
+            full_adds * kMulsPerFullAdd + dbls * kMulsPerDbl;
+        s.fieldAdds = (mixed_adds + full_adds + dbls) * kAddsPerPadd;
+        // Windows are independent, so even the bucket reduction
+        // parallelises; only the final window combine serialises.
+        s.serialFraction = 0.01;
+        return s;
+    }
+
+  private:
+    std::size_t k_;
+};
+
+} // namespace gzkp::msm
+
+#endif // GZKP_MSM_MSM_SERIAL_HH

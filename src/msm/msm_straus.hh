@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MINA-like Straus MSM (the "Best-GPU" baseline for MNT4753).
+ *
+ * The Straus algorithm [58] precomputes, for every point P_i, the
+ * small multiples 2*P_i ... (2^k - 1)*P_i. Each window step is then a
+ * single table lookup and add per point, at the cost of (2^k - 1)
+ * stored points per input point. As the paper notes (Section 4.1 and
+ * Figure 9), this scales poorly: the precomputation memory grows so
+ * fast with N that MINA runs out of GPU memory above 2^22.
+ */
+
+#ifndef GZKP_MSM_MSM_STRAUS_HH
+#define GZKP_MSM_MSM_STRAUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hh"
+#include "gpusim/perf_model.hh"
+#include "msm/msm_common.hh"
+
+namespace gzkp::msm {
+
+template <typename Cfg>
+class StrausMsm
+{
+  public:
+    using Point = ec::ECPoint<Cfg>;
+    using Affine = ec::AffinePoint<Cfg>;
+    using Scalar = typename Cfg::Scalar;
+
+    /** MINA uses a small fixed window; k = 5 matches its footprint. */
+    explicit StrausMsm(std::size_t k = 5) : k_(k) {}
+
+    std::size_t window() const { return k_; }
+
+    /** Functional execution (precompute tables, then window steps). */
+    Point
+    run(const std::vector<Affine> &points,
+        const std::vector<Scalar> &scalars) const
+    {
+        std::size_t n = points.size();
+        std::size_t l = Scalar::bits();
+        std::size_t windows = windowCount(l, k_);
+        std::size_t table = (std::size_t(1) << k_) - 1;
+        auto repr = scalarsToRepr(scalars);
+
+        // Precompute d * P_i for d = 1 .. 2^k - 1.
+        std::vector<Point> pre(n * table);
+        for (std::size_t i = 0; i < n; ++i) {
+            Point p = Point::fromAffine(points[i]);
+            pre[i * table] = p;
+            for (std::size_t d = 1; d < table; ++d)
+                pre[i * table + d] = pre[i * table + d - 1] + p;
+        }
+        auto pre_affine = ec::batchToAffine<Cfg>(pre);
+
+        Point result;
+        for (std::size_t t = windows; t-- > 0;) {
+            for (std::size_t d = 0; d < k_; ++d)
+                result = result.dbl();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t d = windowDigit(repr[i], t, k_);
+                if (d != 0)
+                    result = result.addMixed(pre_affine[i * table + d - 1]);
+            }
+        }
+        return result;
+    }
+
+    /** Precomputation memory footprint in bytes (Figure 9). */
+    std::uint64_t
+    memoryBytes(std::size_t n) const
+    {
+        std::uint64_t table = (std::uint64_t(1) << k_) - 1;
+        std::uint64_t pt_bytes = 2 * Cfg::Field::kLimbs * 8;
+        // Tables plus the base points and scalars.
+        return n * (table + 1) * pt_bytes + n * Scalar::kLimbs * 8;
+    }
+
+    /** True if the instance fits the device's global memory. */
+    bool
+    fits(std::size_t n, const gpusim::DeviceConfig &dev) const
+    {
+        return memoryBytes(n) <= dev.globalMemBytes;
+    }
+
+    /**
+     * Kernel statistics. The serial accumulation into one running
+     * point is parallelised MINA-style by splitting into per-thread
+     * chains that are tree-combined; the dominant work is one
+     * table-lookup add per (window, point) pair plus the scattered
+     * table reads.
+     */
+    gpusim::KernelStats
+    gpuStats(std::size_t n, const gpusim::DeviceConfig &dev,
+             double *imbalance = nullptr) const
+    {
+        std::size_t l = Scalar::bits();
+        double windows = double(windowCount(l, k_));
+        std::size_t pt_bytes = 2 * Cfg::Field::kLimbs * 8;
+
+        gpusim::KernelStats s;
+        s.limbs = Cfg::Field::kLimbs;
+        double adds = windows * double(n);
+        double dbls = windows * double(k_) +
+            // Precomputation doublings/adds amortised on-device.
+            double(n) * double((std::size_t(1) << k_) - 2);
+        s.fieldMuls = adds * kMulsPerMixedAdd + dbls * kMulsPerFullAdd;
+        s.fieldAdds = (adds + dbls) * kAddsPerPadd;
+        // Table lookups are data-dependent gathers: one point-sized
+        // read per (window, point), near-zero line reuse.
+        double reads = windows * double(n);
+        s.usefulBytes = std::uint64_t(reads) * pt_bytes;
+        s.linesTouched = std::uint64_t(
+            reads * double(pt_bytes) / dev.l2LineBytes * 1.6);
+        s.numBlocks = std::max<std::size_t>(dev.numSMs, n / 512);
+        // MINA's field arithmetic is the unoptimized library the
+        // paper calls out; it sustains a lower issue efficiency.
+        s.loadImbalanceFactor = 2.5;
+        if (imbalance)
+            *imbalance = s.loadImbalanceFactor;
+        return s;
+    }
+
+  private:
+    std::size_t k_;
+};
+
+} // namespace gzkp::msm
+
+#endif // GZKP_MSM_MSM_STRAUS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NTT evaluation domains and twiddle-factor tables.
+ *
+ * A Domain is the multiplicative subgroup of order N = 2^n generated
+ * by omega, the 2^n-th root of unity of the scalar field. Twiddles
+ * are precomputed exactly the way the paper describes for GZKP
+ * (Section 5.3, Table 5 discussion): iteration i of the Cooley-Tukey
+ * flow uses 2^i unique omega powers, so the whole table is N - 1
+ * values stored once, with contiguous per-iteration layout.
+ */
+
+#ifndef GZKP_NTT_DOMAIN_HH
+#define GZKP_NTT_DOMAIN_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace gzkp::ntt {
+
+/** Reverse the low `bits` bits of x. */
+inline std::size_t
+bitReverse(std::size_t x, std::size_t bits)
+{
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < bits; ++i)
+        if (x & (std::size_t(1) << i))
+            r |= std::size_t(1) << (bits - 1 - i);
+    return r;
+}
+
+/**
+ * Precomputed radix-2 domain of size N = 2^logN over field Fr.
+ */
+template <typename Fr>
+class Domain
+{
+  public:
+    explicit Domain(std::size_t log_n)
+        : logN_(log_n), n_(std::size_t(1) << log_n)
+    {
+        if (log_n > Fr::twoAdicity())
+            throw std::invalid_argument("Domain: size exceeds 2-adicity");
+        omega_ = Fr::rootOfUnity(log_n);
+        omegaInv_ = omega_.inverse();
+        nInv_ = Fr::fromUint64(n_).inverse();
+        // Coset generator: the field's multiplicative generator,
+        // guaranteed outside every proper 2-adic subgroup.
+        cosetGen_ = Fr::fromUint64(Fr::params().generator);
+        cosetGenInv_ = cosetGen_.inverse();
+        buildTwiddles();
+    }
+
+    std::size_t size() const { return n_; }
+    std::size_t logSize() const { return logN_; }
+    const Fr &omega() const { return omega_; }
+    const Fr &omegaInv() const { return omegaInv_; }
+    const Fr &nInv() const { return nInv_; }
+    const Fr &cosetGen() const { return cosetGen_; }
+    const Fr &cosetGenInv() const { return cosetGenInv_; }
+
+    /**
+     * Twiddle for iteration `iter` (stride 2^iter), butterfly lane
+     * `j` (j < 2^iter): omega^(j * N / 2^(iter+1)).
+     */
+    const Fr &
+    twiddle(std::size_t iter, std::size_t j) const
+    {
+        return fwd_[(std::size_t(1) << iter) - 1 + j];
+    }
+
+    /** Inverse-transform twiddle of the same index. */
+    const Fr &
+    twiddleInv(std::size_t iter, std::size_t j) const
+    {
+        return inv_[(std::size_t(1) << iter) - 1 + j];
+    }
+
+    /** Total unique twiddles (N - 1), the paper's storage bound. */
+    std::size_t twiddleCount() const { return fwd_.size(); }
+
+  private:
+    void
+    buildTwiddles()
+    {
+        fwd_.resize(n_ - 1);
+        inv_.resize(n_ - 1);
+        for (std::size_t iter = 0; iter < logN_; ++iter) {
+            std::size_t half = std::size_t(1) << iter;
+            // Step between lane twiddles: omega^(N / 2^(iter+1)).
+            Fr step = omega_;
+            for (std::size_t k = iter + 1; k < logN_; ++k)
+                step = step.squared();
+            Fr step_inv = step.inverse();
+            Fr w = Fr::one(), wi = Fr::one();
+            for (std::size_t j = 0; j < half; ++j) {
+                fwd_[half - 1 + j] = w;
+                inv_[half - 1 + j] = wi;
+                w *= step;
+                wi *= step_inv;
+            }
+        }
+    }
+
+    std::size_t logN_;
+    std::size_t n_;
+    Fr omega_, omegaInv_, nInv_;
+    Fr cosetGen_, cosetGenInv_;
+    std::vector<Fr> fwd_, inv_;
+};
+
+} // namespace gzkp::ntt
+
+#endif // GZKP_NTT_DOMAIN_HH

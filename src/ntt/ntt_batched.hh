@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Batched NTT execution for throughput-oriented workloads.
+ *
+ * Paper Section 7: ZKP wants the *latency* of one large NTT, so GZKP
+ * devotes the whole GPU to it; homomorphic-encryption workloads
+ * instead run many small independent NTTs and want *throughput*.
+ * Because GZKP already uses small independent groups as its task
+ * granularity, the same kernel batches naturally: co-scheduling the
+ * blocks of many transforms fills the device even when one transform
+ * alone cannot. This header implements that future-work mode.
+ *
+ * Functional semantics: exactly `count` independent transforms,
+ * results identical to running GzkpNtt on each vector.
+ */
+
+#ifndef GZKP_NTT_NTT_BATCHED_HH
+#define GZKP_NTT_NTT_BATCHED_HH
+
+#include <vector>
+
+#include "ntt/ntt_gpu.hh"
+
+namespace gzkp::ntt {
+
+template <typename Fr>
+class BatchedNtt
+{
+  public:
+    explicit BatchedNtt(GzkpNtt<Fr> kernel = GzkpNtt<Fr>())
+        : kernel_(kernel)
+    {}
+
+    /** Transform every vector in the batch (in place). */
+    void
+    run(const Domain<Fr> &dom, std::vector<std::vector<Fr>> &batch,
+        bool invert = false,
+        const gpusim::DeviceConfig &dev =
+            gpusim::DeviceConfig::v100()) const
+    {
+        for (auto &v : batch)
+            kernel_.run(dom, v, invert, dev);
+    }
+
+    /**
+     * Modeled time of running `count` transforms in *latency* mode:
+     * one kernel sequence per transform (the ZKP configuration).
+     */
+    double
+    latencyModeSeconds(std::size_t log_n, std::size_t count,
+                       const gpusim::DeviceConfig &dev,
+                       gpusim::Backend backend =
+                           gpusim::Backend::FpuLib) const
+    {
+        return double(count) *
+            nttModelSeconds(kernel_.stats(log_n, dev), dev, backend);
+    }
+
+    /**
+     * Modeled time in *batched* (throughput) mode: the per-stage
+     * blocks of all transforms are co-scheduled under one launch, so
+     * occupancy is full even for small transforms and the launch
+     * overhead amortises across the batch.
+     */
+    double
+    batchedModeSeconds(std::size_t log_n, std::size_t count,
+                       const gpusim::DeviceConfig &dev,
+                       gpusim::Backend backend =
+                           gpusim::Backend::FpuLib) const
+    {
+        NttStats one = kernel_.stats(log_n, dev);
+        gpusim::KernelStats agg;
+        auto scale = [count](gpusim::KernelStats s) {
+            s.fieldMuls *= double(count);
+            s.fieldAdds *= double(count);
+            s.linesTouched *= count;
+            s.usefulBytes *= count;
+            s.numBlocks *= count; // co-resident blocks fill the chip
+            // launches stay per *stage*, not per transform
+            return s;
+        };
+        double t = 0;
+        t += gpusim::modelSeconds(scale(one.bitrev), dev, backend);
+        t += gpusim::modelSeconds(scale(one.shuffle), dev, backend);
+        t += gpusim::modelSeconds(scale(one.compute), dev, backend);
+        return t;
+    }
+
+    /** Throughput gain of batching `count` transforms. */
+    double
+    batchingGain(std::size_t log_n, std::size_t count,
+                 const gpusim::DeviceConfig &dev) const
+    {
+        return latencyModeSeconds(log_n, count, dev) /
+            batchedModeSeconds(log_n, count, dev);
+    }
+
+  private:
+    GzkpNtt<Fr> kernel_;
+};
+
+} // namespace gzkp::ntt
+
+#endif // GZKP_NTT_NTT_BATCHED_HH

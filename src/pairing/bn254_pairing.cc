@@ -1,0 +1,182 @@
+#include "pairing/bn254_pairing.hh"
+
+#include <stdexcept>
+
+#include "ff/natnum.hh"
+
+namespace gzkp::pairing {
+
+using ff::Bn254Fq;
+using ff::Bn254Fp2;
+using ff::Bn254Fp6;
+using ff::Bn254Fp12;
+using ff::Bn254Fr;
+using ff::BigInt;
+using ff::NatNum;
+
+namespace {
+
+/** BN parameter x = 4965661367192848881; Miller loop runs 6x+2. */
+constexpr std::uint64_t kBnX = 4965661367192848881ull;
+
+/** An affine point of E(Fp12): y^2 = x^3 + 3. Infinity unused. */
+struct Pt12 {
+    GT x, y;
+};
+
+/** Embed a base-field element into Fp12 (constant polynomial). */
+GT
+embedFq(const Bn254Fq &a)
+{
+    Bn254Fp2 a2(a, Bn254Fq::zero());
+    Bn254Fp6 a6(a2, Bn254Fp2::zero(), Bn254Fp2::zero());
+    return GT(a6, Bn254Fp6::zero());
+}
+
+/** Embed an Fp2 element into Fp12. */
+GT
+embedFp2(const Bn254Fp2 &a)
+{
+    Bn254Fp6 a6(a, Bn254Fp2::zero(), Bn254Fp2::zero());
+    return GT(a6, Bn254Fp6::zero());
+}
+
+/** w^2 = v as an Fp12 element. */
+GT
+wSquared()
+{
+    Bn254Fp6 v(Bn254Fp2::zero(), Bn254Fp2::one(), Bn254Fp2::zero());
+    return GT(v, Bn254Fp6::zero());
+}
+
+/** w^3 = v * w as an Fp12 element. */
+GT
+wCubed()
+{
+    Bn254Fp6 vw(Bn254Fp2::zero(), Bn254Fp2::one(), Bn254Fp2::zero());
+    return GT(Bn254Fp6::zero(), vw);
+}
+
+/** Untwist a G2 point into E(Fp12): (x, y) -> (w^2 x, w^3 y). */
+Pt12
+untwist(const ec::Bn254G2Affine &q)
+{
+    Pt12 r;
+    r.x = wSquared() * embedFp2(q.x);
+    r.y = wCubed() * embedFp2(q.y);
+    return r;
+}
+
+/** Frobenius x -> x^q on Fp12, computed literally. */
+GT
+frobenius(const GT &a)
+{
+    return a.pow(Bn254Fq::modulus());
+}
+
+/**
+ * Evaluate the Miller line through `a` and `b` (tangent when a == b)
+ * at the G1 point embedded as (px, py), and advance a to a + b.
+ */
+GT
+lineAndAdd(Pt12 &a, const Pt12 &b, const GT &px, const GT &py)
+{
+    GT lambda;
+    if (a.x == b.x && a.y == b.y) {
+        // Tangent: lambda = 3 x^2 / 2 y.
+        GT three = embedFq(Bn254Fq::fromUint64(3));
+        GT two = embedFq(Bn254Fq::fromUint64(2));
+        lambda = three * a.x.squared() * (two * a.y).inverse();
+    } else {
+        if (a.x == b.x)
+            throw std::logic_error("bn254 pairing: vertical line hit");
+        lambda = (b.y - a.y) * (b.x - a.x).inverse();
+    }
+    GT line = py - a.y - lambda * (px - a.x);
+    GT x3 = lambda.squared() - a.x - b.x;
+    GT y3 = lambda * (a.x - x3) - a.y;
+    a.x = x3;
+    a.y = y3;
+    return line;
+}
+
+} // namespace
+
+GT
+millerLoop(const ec::Bn254G1Affine &p, const ec::Bn254G2Affine &q)
+{
+    if (p.infinity || q.infinity)
+        return GT::one();
+
+    GT px = embedFq(p.x);
+    GT py = embedFq(p.y);
+    Pt12 qq = untwist(q);
+
+    // Loop count 6x + 2 (65 bits).
+    NatNum loop = NatNum(kBnX) * NatNum(6) + NatNum(2);
+    BigInt<2> e = loop.toBigInt<2>();
+
+    Pt12 t = qq;
+    GT f = GT::one();
+    for (std::size_t i = e.numBits() - 1; i-- > 0;) {
+        f = f.squared();
+        f *= lineAndAdd(t, t, px, py); // doubling step
+        if (e.bit(i))
+            f *= lineAndAdd(t, qq, px, py); // addition step
+    }
+
+    // Frobenius correction steps of the optimal ate pairing:
+    // f *= l_{T, pi(Q)};  T += pi(Q);  f *= l_{T, -pi^2(Q)}.
+    Pt12 q1{frobenius(qq.x), frobenius(qq.y)};
+    Pt12 q2{frobenius(q1.x), frobenius(q1.y)};
+    q2.y = GT::zero() - q2.y; // -pi^2(Q)
+
+    f *= lineAndAdd(t, q1, px, py);
+    f *= lineAndAdd(t, q2, px, py);
+    return f;
+}
+
+GT
+finalExponentiation(const GT &f)
+{
+    // Easy part: f^((q^6 - 1)(q^2 + 1)).
+    GT g = f.conjugate() * f.inverse();       // f^(q^6 - 1)
+    g = frobenius(frobenius(g)) * g;          // ^(q^2 + 1)
+
+    // Hard part: exponent (q^4 - q^2 + 1) / r, ~1270 bits, computed
+    // once with arbitrary precision.
+    static const NatNum hard = [] {
+        NatNum qn = NatNum::fromBigInt(Bn254Fq::modulus());
+        NatNum rn = NatNum::fromBigInt(Bn254Fr::modulus());
+        NatNum q2 = qn * qn;
+        NatNum q4 = q2 * q2;
+        NatNum num = q4 - q2 + NatNum(1);
+        NatNum rem;
+        NatNum e = num.divmod(rn, rem);
+        if (!rem.isZero())
+            throw std::logic_error("bn254: r does not divide phi12(q)");
+        return e;
+    }();
+
+    GT result = GT::one();
+    for (std::size_t i = hard.numBits(); i-- > 0;) {
+        result = result.squared();
+        if (hard.bit(i))
+            result *= g;
+    }
+    return result;
+}
+
+GT
+pairing(const ec::Bn254G1Affine &p, const ec::Bn254G2Affine &q)
+{
+    return finalExponentiation(millerLoop(p, q));
+}
+
+GT
+gtPow(const GT &base, const Bn254Fr &e)
+{
+    return base.pow(e.toBigInt());
+}
+
+} // namespace gzkp::pairing

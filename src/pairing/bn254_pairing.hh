@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Optimal ate pairing on ALT-BN128 (BN254).
+ *
+ * This powers the *real* Groth16 verifier used by the zkp module on
+ * BN254 (DESIGN.md: verification is not a performance target of the
+ * paper, so this implementation favours transparent correctness over
+ * speed):
+ *
+ *  - G2 points are mapped from the sextic D-twist E'(Fp2) into
+ *    E(Fp12) via (x, y) -> (w^2 x, w^3 y), and the whole Miller loop
+ *    runs with generic affine line functions over Fp12;
+ *  - the Frobenius endomorphism is computed literally as x -> x^q;
+ *  - the final-exponentiation hard part uses the arbitrary-precision
+ *    exponent (q^4 - q^2 + 1) / r computed once with NatNum.
+ *
+ * Cost is a few milliseconds per pairing, comfortably inside the
+ * paper's "verification takes a few milliseconds" envelope.
+ */
+
+#ifndef GZKP_PAIRING_BN254_PAIRING_HH
+#define GZKP_PAIRING_BN254_PAIRING_HH
+
+#include "ec/curves.hh"
+#include "ff/bn254_tower.hh"
+
+namespace gzkp::pairing {
+
+using GT = ff::Bn254Fp12;
+
+/**
+ * The optimal ate pairing e : G1 x G2 -> GT.
+ * Identity inputs return GT one (the pairing of the identity).
+ */
+GT pairing(const ec::Bn254G1Affine &p, const ec::Bn254G2Affine &q);
+
+/** Miller loop only (no final exponentiation); exposed for tests. */
+GT millerLoop(const ec::Bn254G1Affine &p, const ec::Bn254G2Affine &q);
+
+/** Final exponentiation f^((q^12 - 1) / r); exposed for tests. */
+GT finalExponentiation(const GT &f);
+
+/** GT exponentiation by a scalar field element. */
+GT gtPow(const GT &base, const ff::Bn254Fr &e);
+
+} // namespace gzkp::pairing
+
+#endif // GZKP_PAIRING_BN254_PAIRING_HH

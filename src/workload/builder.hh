@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Circuit builder and gadget library.
+ *
+ * Builder keeps an R1CS and its satisfying assignment in lock-step,
+ * the way xJsnark-style frontends do, so examples and tests can
+ * construct real provable statements: multiplications, booleanity,
+ * bit decomposition (the "bound checks and range constraints" that
+ * make real-world scalar vectors sparse -- Section 4.2), a MiMC-like
+ * permutation hash, Merkle-path verification, and comparisons.
+ */
+
+#ifndef GZKP_WORKLOAD_BUILDER_HH
+#define GZKP_WORKLOAD_BUILDER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "zkp/r1cs.hh"
+
+namespace gzkp::workload {
+
+using zkp::LinComb;
+using zkp::R1cs;
+
+/** Number of rounds of the MiMC-like permutation. */
+inline constexpr std::size_t kMimcRounds = 91;
+
+template <typename Fr>
+class Builder
+{
+  public:
+    using Var = std::size_t;
+
+    explicit Builder(std::size_t num_public)
+        : cs_(num_public), z_(num_public + 1, Fr::zero())
+    {
+        z_[0] = Fr::one();
+    }
+
+    R1cs<Fr> &cs() { return cs_; }
+    const R1cs<Fr> &cs() const { return cs_; }
+    const std::vector<Fr> &assignment() const { return z_; }
+    const Fr &value(Var v) const { return z_[v]; }
+
+    /** Set the value of public input i (1-based, i <= numPublic). */
+    void
+    setPublic(std::size_t i, const Fr &v)
+    {
+        if (i == 0 || i > cs_.numPublic())
+            throw std::out_of_range("Builder::setPublic");
+        z_[i] = v;
+    }
+
+    /** Allocate a witness variable holding `v`. */
+    Var
+    alloc(const Fr &v)
+    {
+        z_.push_back(v);
+        return cs_.allocVar();
+    }
+
+    /** c = a * b with one constraint. */
+    Var
+    mul(Var a, Var b)
+    {
+        Var c = alloc(z_[a] * z_[b]);
+        cs_.addConstraint(LinComb<Fr>(a, Fr::one()),
+                          LinComb<Fr>(b, Fr::one()),
+                          LinComb<Fr>(c, Fr::one()));
+        return c;
+    }
+
+    /** c = lincomb_a * lincomb_b with one constraint. */
+    Var
+    mulLin(const LinComb<Fr> &a, const LinComb<Fr> &b)
+    {
+        Var c = alloc(a.evaluate(z_) * b.evaluate(z_));
+        cs_.addConstraint(a, b, LinComb<Fr>(c, Fr::one()));
+        return c;
+    }
+
+    /** Constrain lc_a * lc_b == lc_c. */
+    void
+    constrain(const LinComb<Fr> &a, const LinComb<Fr> &b,
+              const LinComb<Fr> &c)
+    {
+        cs_.addConstraint(a, b, c);
+    }
+
+    /** b * (b - 1) = 0: booleanity (a paper "bound check"). */
+    void
+    assertBool(Var b)
+    {
+        LinComb<Fr> bm1(b, Fr::one());
+        bm1.add(0, -Fr::one());
+        cs_.addConstraint(LinComb<Fr>(b, Fr::one()), bm1, LinComb<Fr>());
+    }
+
+    /** Constrain lc to equal variable v (via lc * 1 = v). */
+    void
+    assertEqual(const LinComb<Fr> &lc, Var v)
+    {
+        cs_.addConstraint(lc, LinComb<Fr>(0, Fr::one()),
+                          LinComb<Fr>(v, Fr::one()));
+    }
+
+    /**
+     * Decompose variable `v` into `bits` boolean variables (LSB
+     * first) and constrain the recomposition. This is the range
+     * constraint responsible for the 0/1-heavy witness of real
+     * workloads. The value must actually fit in `bits` bits.
+     */
+    std::vector<Var>
+    decompose(Var v, std::size_t bits)
+    {
+        auto repr = z_[v].toBigInt();
+        std::vector<Var> out;
+        LinComb<Fr> recomp;
+        Fr pow = Fr::one();
+        for (std::size_t i = 0; i < bits; ++i) {
+            Var b = alloc(repr.bit(i) ? Fr::one() : Fr::zero());
+            assertBool(b);
+            recomp.add(b, pow);
+            pow = pow.dbl();
+            out.push_back(b);
+        }
+        assertEqual(recomp, v);
+        return out;
+    }
+
+    /**
+     * One round of the MiMC-like permutation:
+     * x' = (x + key + c_i)^3. Two constraints (square, then cube).
+     */
+    Var
+    mimcRound(Var x, Var key, const Fr &round_const)
+    {
+        LinComb<Fr> t(x, Fr::one());
+        t.add(key, Fr::one()).add(0, round_const);
+        Var sq = mulLin(t, t);
+        return mulLin(LinComb<Fr>(sq, Fr::one()), t);
+    }
+
+    /** Full MiMC permutation with key; 2 * kMimcRounds constraints. */
+    Var
+    mimcPermute(Var x, Var key)
+    {
+        Fr c = Fr::fromUint64(0x6d696d63); // "mimc" seed
+        Var cur = x;
+        for (std::size_t i = 0; i < kMimcRounds; ++i) {
+            cur = mimcRound(cur, key, c);
+            c = c * c + Fr::fromUint64(i + 1); // fixed round schedule
+        }
+        // Final key addition: out = cur + key.
+        LinComb<Fr> sum(cur, Fr::one());
+        sum.add(key, Fr::one());
+        Var out = alloc(z_[cur] + z_[key]);
+        assertEqual(sum, out);
+        return out;
+    }
+
+    /** Two-to-one compression h = MiMC(l; key = r) + r. */
+    Var
+    mimcHash2(Var l, Var r)
+    {
+        Var p = mimcPermute(l, r);
+        LinComb<Fr> sum(p, Fr::one());
+        sum.add(r, Fr::one());
+        Var out = alloc(z_[p] + z_[r]);
+        assertEqual(sum, out);
+        return out;
+    }
+
+    /**
+     * Conditional swap: returns (l', r') equal to (l, r) when s = 0
+     * and (r, l) when s = 1. s must be boolean.
+     */
+    std::pair<Var, Var>
+    condSwap(Var s, Var l, Var r)
+    {
+        // d = s * (r - l); l' = l + d; r' = r - d.
+        LinComb<Fr> diff(r, Fr::one());
+        diff.add(l, -Fr::one());
+        Var d = mulLin(LinComb<Fr>(s, Fr::one()), diff);
+        Var lp = alloc(z_[l] + z_[d]);
+        LinComb<Fr> lsum(l, Fr::one());
+        lsum.add(d, Fr::one());
+        assertEqual(lsum, lp);
+        Var rp = alloc(z_[r] - z_[d]);
+        LinComb<Fr> rsum(r, Fr::one());
+        rsum.add(d, -Fr::one());
+        assertEqual(rsum, rp);
+        return {lp, rp};
+    }
+
+    /**
+     * Merkle-path verification: walk from `leaf` to the root using
+     * `siblings` and boolean `directions` (1 = current node is the
+     * right child). Returns the computed root variable.
+     */
+    Var
+    merklePath(Var leaf, const std::vector<Var> &siblings,
+               const std::vector<Var> &directions)
+    {
+        Var cur = leaf;
+        for (std::size_t i = 0; i < siblings.size(); ++i) {
+            assertBool(directions[i]);
+            auto [l, r] = condSwap(directions[i], cur, siblings[i]);
+            cur = mimcHash2(l, r);
+        }
+        return cur;
+    }
+
+    /**
+     * Assert a > b over `bits`-bit values by decomposing a - b - 1
+     * (which must be non-negative and fit `bits` bits). Used by the
+     * auction workload.
+     */
+    void
+    assertGreater(Var a, Var b, std::size_t bits)
+    {
+        Fr dv = z_[a] - z_[b] - Fr::one();
+        Var d = alloc(dv);
+        LinComb<Fr> lc(a, Fr::one());
+        lc.add(b, -Fr::one()).add(0, -Fr::one());
+        assertEqual(lc, d);
+        decompose(d, bits);
+    }
+
+  private:
+    R1cs<Fr> cs_;
+    std::vector<Fr> z_;
+};
+
+} // namespace gzkp::workload
+
+#endif // GZKP_WORKLOAD_BUILDER_HH

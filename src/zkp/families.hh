@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Curve families usable by the Groth16 pipeline.
+ *
+ * A family bundles the scalar field, the G1/G2 curve configs, and
+ * whether a real pairing is available. BN254 carries the full G2 +
+ * optimal-ate pairing; BLS12-381 runs with G2 folded onto G1 and is
+ * verified through the trapdoor self-check only (see DESIGN.md).
+ * MNT4753-sim has an unknown group order and therefore no Groth16
+ * family at all -- its 753-bit configuration is exercised at the
+ * NTT/MSM kernel level.
+ */
+
+#ifndef GZKP_ZKP_FAMILIES_HH
+#define GZKP_ZKP_FAMILIES_HH
+
+#include "ec/curves.hh"
+
+namespace gzkp::zkp {
+
+struct Bn254Family {
+    using Fr = ff::Bn254Fr;
+    using G1Cfg = ec::Bn254G1Cfg;
+    using G2Cfg = ec::Bn254G2Cfg;
+    static constexpr bool kHasPairing = true;
+    static const char *name() { return "ALT-BN128"; }
+};
+
+struct Bls381Family {
+    using Fr = ff::Bls381Fr;
+    using G1Cfg = ec::Bls381G1Cfg;
+    using G2Cfg = ec::Bls381G1Cfg; // no Fp2 tower for BLS here
+    static constexpr bool kHasPairing = false;
+    static const char *name() { return "BLS12-381"; }
+};
+
+} // namespace gzkp::zkp
+
+#endif // GZKP_ZKP_FAMILIES_HH

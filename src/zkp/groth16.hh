@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The Groth16 zkSNARK: setup, prover, and verification.
+ *
+ * The prover follows the paper's two-stage structure exactly
+ * (Figure 1): the POLY stage (seven NTTs, qap.hh::computeH) followed
+ * by the MSM stage with five multi-scalar multiplications --
+ * A (G1), B (G2), B (G1), the aux/L query, and the h query.
+ * Both stages take pluggable engines so the same prover runs the
+ * CPU baseline, the BG-like kernels, or GZKP's kernels.
+ *
+ * Verification:
+ *  - verifyWithTrapdoor(): the test-harness self-check described in
+ *    DESIGN.md -- with the setup's toxic waste and the witness it
+ *    recomputes the expected exponents of A, B, C in the scalar
+ *    field and compares against the proof points. Works on every
+ *    family whose G1 has order r.
+ *  - pairing verification (BN254 only) lives in groth16_bn254.hh.
+ */
+
+#ifndef GZKP_ZKP_GROTH16_HH
+#define GZKP_ZKP_GROTH16_HH
+
+#include <stdexcept>
+#include <vector>
+
+#include "ec/fixed_base.hh"
+#include "msm/msm_gzkp.hh"
+#include "msm/msm_serial.hh"
+#include "zkp/families.hh"
+#include "zkp/qap.hh"
+
+namespace gzkp::zkp {
+
+/** MSM engine policy: serial CPU Pippenger (baseline). */
+struct SerialMsmPolicy {
+    template <typename Cfg>
+    static ec::ECPoint<Cfg>
+    msm(const std::vector<ec::AffinePoint<Cfg>> &pts,
+        const std::vector<typename Cfg::Scalar> &scs)
+    {
+        return gzkp::msm::PippengerSerial<Cfg>().run(pts, scs);
+    }
+};
+
+/** MSM engine policy: the GZKP MSM engine. */
+struct GzkpMsmPolicy {
+    template <typename Cfg>
+    static ec::ECPoint<Cfg>
+    msm(const std::vector<ec::AffinePoint<Cfg>> &pts,
+        const std::vector<typename Cfg::Scalar> &scs)
+    {
+        return gzkp::msm::GzkpMsm<Cfg>().run(pts, scs);
+    }
+};
+
+template <typename Family>
+class Groth16
+{
+  public:
+    using Fr = typename Family::Fr;
+    using G1 = ec::ECPoint<typename Family::G1Cfg>;
+    using G2 = ec::ECPoint<typename Family::G2Cfg>;
+    using G1Affine = ec::AffinePoint<typename Family::G1Cfg>;
+    using G2Affine = ec::AffinePoint<typename Family::G2Cfg>;
+
+    struct ProvingKey {
+        std::size_t numVars = 0;
+        std::size_t numPublic = 0;
+        std::size_t domainLog = 0;
+        G1Affine alphaG1, betaG1, deltaG1;
+        G2Affine betaG2, deltaG2;
+        std::vector<G1Affine> aQuery;  //!< A_i(tau), all variables
+        std::vector<G1Affine> b1Query; //!< B_i(tau) in G1
+        std::vector<G2Affine> b2Query; //!< B_i(tau) in G2
+        std::vector<G1Affine> lQuery;  //!< aux-variable query (/delta)
+        std::vector<G1Affine> hQuery;  //!< tau^j Z(tau)/delta
+    };
+
+    struct VerifyingKey {
+        G1Affine alphaG1;
+        G2Affine betaG2, gammaG2, deltaG2;
+        std::vector<G1Affine> ic; //!< public-input query (/gamma)
+    };
+
+    /** The setup's toxic waste, kept only for the test self-check. */
+    struct Trapdoor {
+        Fr tau, alpha, beta, gamma, delta;
+    };
+
+    struct Proof {
+        G1Affine a;
+        G2Affine b;
+        G1Affine c;
+    };
+
+    /** Prover randomness, exposed for verifyWithTrapdoor(). */
+    struct ProofAux {
+        Fr r, s;
+    };
+
+    struct Keys {
+        ProvingKey pk;
+        VerifyingKey vk;
+        Trapdoor td;
+    };
+
+    template <typename Rng>
+    static Keys
+    setup(const R1cs<Fr> &cs, Rng &rng)
+    {
+        std::size_t dlog = domainLogFor(cs.numConstraints());
+        ntt::Domain<Fr> dom(dlog);
+
+        Trapdoor td;
+        td.tau = nonzeroRandom(rng);
+        td.alpha = nonzeroRandom(rng);
+        td.beta = nonzeroRandom(rng);
+        td.gamma = nonzeroRandom(rng);
+        td.delta = nonzeroRandom(rng);
+
+        auto q = evaluateQapAt(cs, dom, td.tau);
+        Fr gamma_inv = td.gamma.inverse();
+        Fr delta_inv = td.delta.inverse();
+
+        ec::FixedBaseMul<typename Family::G1Cfg> g1(G1::generator());
+        ec::FixedBaseMul<typename Family::G2Cfg> g2(G2::generator());
+
+        Keys keys;
+        ProvingKey &pk = keys.pk;
+        pk.numVars = cs.numVars();
+        pk.numPublic = cs.numPublic();
+        pk.domainLog = dlog;
+        pk.alphaG1 = g1.mul(td.alpha).toAffine();
+        pk.betaG1 = g1.mul(td.beta).toAffine();
+        pk.deltaG1 = g1.mul(td.delta).toAffine();
+        pk.betaG2 = g2.mul(td.beta).toAffine();
+        pk.deltaG2 = g2.mul(td.delta).toAffine();
+
+        std::size_t nv = cs.numVars();
+        std::vector<G1> tmp1(nv);
+        for (std::size_t i = 0; i < nv; ++i)
+            tmp1[i] = g1.mul(q.a[i]);
+        pk.aQuery = ec::batchToAffine<typename Family::G1Cfg>(tmp1);
+        for (std::size_t i = 0; i < nv; ++i)
+            tmp1[i] = g1.mul(q.b[i]);
+        pk.b1Query = ec::batchToAffine<typename Family::G1Cfg>(tmp1);
+        std::vector<G2> tmp2(nv);
+        for (std::size_t i = 0; i < nv; ++i)
+            tmp2[i] = g2.mul(q.b[i]);
+        pk.b2Query = ec::batchToAffine<typename Family::G2Cfg>(tmp2);
+
+        // L query (aux variables) and IC (public variables).
+        std::size_t npub = cs.numPublic();
+        std::vector<G1> ltmp(nv - npub - 1);
+        std::vector<G1> ictmp(npub + 1);
+        for (std::size_t i = 0; i < nv; ++i) {
+            Fr e = td.beta * q.a[i] + td.alpha * q.b[i] + q.c[i];
+            if (i <= npub)
+                ictmp[i] = g1.mul(e * gamma_inv);
+            else
+                ltmp[i - npub - 1] = g1.mul(e * delta_inv);
+        }
+        pk.lQuery = ec::batchToAffine<typename Family::G1Cfg>(ltmp);
+        keys.vk.ic = ec::batchToAffine<typename Family::G1Cfg>(ictmp);
+
+        // h query: tau^j * Z(tau) / delta for j = 0 .. N-2.
+        std::size_t n = dom.size();
+        std::vector<G1> htmp(n - 1);
+        Fr cur = q.zTau * delta_inv;
+        for (std::size_t j = 0; j + 1 < n; ++j) {
+            htmp[j] = g1.mul(cur);
+            cur *= td.tau;
+        }
+        pk.hQuery = ec::batchToAffine<typename Family::G1Cfg>(htmp);
+
+        keys.vk.alphaG1 = pk.alphaG1;
+        keys.vk.betaG2 = pk.betaG2;
+        keys.vk.gammaG2 = g2.mul(td.gamma).toAffine();
+        keys.vk.deltaG2 = pk.deltaG2;
+        keys.td = td;
+        return keys;
+    }
+
+    /**
+     * Generate a proof. `z` is the full assignment (with z[0] = 1),
+     * already checked to satisfy the constraint system.
+     */
+    template <typename MsmPolicy = GzkpMsmPolicy,
+              typename NttEngine = CpuNttEngine<Fr>, typename Rng>
+    static Proof
+    prove(const ProvingKey &pk, const R1cs<Fr> &cs,
+          const std::vector<Fr> &z, Rng &rng, ProofAux *aux = nullptr,
+          const NttEngine &ntt_engine = NttEngine())
+    {
+        if (z.size() != pk.numVars)
+            throw std::invalid_argument("Groth16::prove: bad witness");
+
+        // --- POLY stage: seven NTTs. ---
+        ntt::Domain<Fr> dom(pk.domainLog);
+        auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
+        h.resize(pk.hQuery.size()); // degree <= N-2
+
+        Fr r = Fr::random(rng);
+        Fr s = Fr::random(rng);
+        if (aux) {
+            aux->r = r;
+            aux->s = s;
+        }
+
+        // --- MSM stage: five MSMs. ---
+        G1 a_pt = G1::fromAffine(pk.alphaG1) +
+            MsmPolicy::msm(pk.aQuery, z) +                      // MSM 1
+            G1::fromAffine(pk.deltaG1).mul(r);
+        G2 b2_pt = G2::fromAffine(pk.betaG2) +
+            MsmPolicy::msm(pk.b2Query, z) +                     // MSM 2
+            G2::fromAffine(pk.deltaG2).mul(s);
+        G1 b1_pt = G1::fromAffine(pk.betaG1) +
+            MsmPolicy::msm(pk.b1Query, z) +                     // MSM 3
+            G1::fromAffine(pk.deltaG1).mul(s);
+
+        std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
+                                    z.end());
+        G1 c_pt = MsmPolicy::msm(pk.lQuery, aux_scalars) +      // MSM 4
+            MsmPolicy::msm(pk.hQuery, h) +                      // MSM 5
+            a_pt.mul(s) + b1_pt.mul(r) -
+            G1::fromAffine(pk.deltaG1).mul(r * s);
+
+        Proof p;
+        p.a = a_pt.toAffine();
+        p.b = b2_pt.toAffine();
+        p.c = c_pt.toAffine();
+        return p;
+    }
+
+    /**
+     * Test-harness verification with the trapdoor, the witness, and
+     * the prover randomness: recomputes the expected exponents of
+     * A, B, C and checks the proof points against generator
+     * multiples. Any error in either prover stage is caught here.
+     */
+    static bool
+    verifyWithTrapdoor(const Keys &keys, const R1cs<Fr> &cs,
+                       const std::vector<Fr> &z, const Proof &proof,
+                       const ProofAux &aux)
+    {
+        ntt::Domain<Fr> dom(keys.pk.domainLog);
+        auto q = evaluateQapAt(cs, dom, keys.td.tau);
+
+        Fr a_exp = keys.td.alpha + aux.r * keys.td.delta;
+        Fr b_exp = keys.td.beta + aux.s * keys.td.delta;
+        Fr a_lin = Fr::zero(), b_lin = Fr::zero(), c_lin = Fr::zero();
+        for (std::size_t i = 0; i < z.size(); ++i) {
+            a_lin += z[i] * q.a[i];
+            b_lin += z[i] * q.b[i];
+            c_lin += z[i] * q.c[i];
+        }
+        a_exp += a_lin;
+        b_exp += b_lin;
+
+        // H(tau) Z(tau) = A(tau) B(tau) - C(tau) by the QAP identity.
+        Fr hz = a_lin * b_lin - c_lin;
+        Fr l_sum = Fr::zero();
+        for (std::size_t i = keys.pk.numPublic + 1; i < z.size(); ++i) {
+            l_sum += z[i] * (keys.td.beta * q.a[i] +
+                             keys.td.alpha * q.b[i] + q.c[i]);
+        }
+        Fr c_exp = (l_sum + hz) * keys.td.delta.inverse() +
+            aux.s * a_exp + aux.r * b_exp -
+            aux.r * aux.s * keys.td.delta;
+
+        if (G1::fromAffine(proof.a) != G1::generator().mul(a_exp))
+            return false;
+        if (G2::fromAffine(proof.b) != G2::generator().mul(b_exp))
+            return false;
+        if (G1::fromAffine(proof.c) != G1::generator().mul(c_exp))
+            return false;
+        return true;
+    }
+
+  private:
+    template <typename Rng>
+    static Fr
+    nonzeroRandom(Rng &rng)
+    {
+        for (;;) {
+            Fr v = Fr::random(rng);
+            if (!v.isZero())
+                return v;
+        }
+    }
+};
+
+} // namespace gzkp::zkp
+
+#endif // GZKP_ZKP_GROTH16_HH

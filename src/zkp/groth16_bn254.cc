@@ -1,0 +1,31 @@
+#include "zkp/groth16_bn254.hh"
+
+#include "pairing/bn254_pairing.hh"
+
+namespace gzkp::zkp {
+
+bool
+verifyBn254(const Groth16<Bn254Family>::VerifyingKey &vk,
+            const Groth16<Bn254Family>::Proof &proof,
+            const std::vector<ff::Bn254Fr> &public_inputs)
+{
+    using G1 = Groth16<Bn254Family>::G1;
+
+    if (public_inputs.size() + 1 != vk.ic.size())
+        return false;
+
+    // IC(x) = ic_0 + sum x_i * ic_i.
+    G1 acc = G1::fromAffine(vk.ic[0]);
+    for (std::size_t i = 0; i < public_inputs.size(); ++i) {
+        acc += G1::fromAffine(vk.ic[i + 1])
+                   .mul(public_inputs[i].toBigInt());
+    }
+
+    auto lhs = pairing::pairing(proof.a, proof.b);
+    auto rhs = pairing::pairing(vk.alphaG1, vk.betaG2) *
+        pairing::pairing(acc.toAffine(), vk.gammaG2) *
+        pairing::pairing(proof.c, vk.deltaG2);
+    return lhs == rhs;
+}
+
+} // namespace gzkp::zkp

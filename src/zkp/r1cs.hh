@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Rank-1 constraint systems (R1CS).
+ *
+ * A statement "F(x, w) = 0" is compiled to constraints of the form
+ * <a_j, z> * <b_j, z> = <c_j, z> over the assignment vector
+ * z = (1, x_1..x_np, w_1..), which is the input format of the
+ * zkSNARK protocol in Figure 1. Variable 0 is the constant ONE;
+ * variables 1..numPublic are the public inputs x; the rest is the
+ * secret witness w.
+ */
+
+#ifndef GZKP_ZKP_R1CS_HH
+#define GZKP_ZKP_R1CS_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace gzkp::zkp {
+
+/** Sparse linear combination over assignment variables. */
+template <typename Fr>
+struct LinComb {
+    std::vector<std::pair<std::size_t, Fr>> terms;
+
+    LinComb() = default;
+    LinComb(std::size_t var, const Fr &coeff) { add(var, coeff); }
+
+    LinComb &
+    add(std::size_t var, const Fr &coeff)
+    {
+        terms.emplace_back(var, coeff);
+        return *this;
+    }
+
+    Fr
+    evaluate(const std::vector<Fr> &z) const
+    {
+        Fr acc = Fr::zero();
+        for (const auto &[v, c] : terms)
+            acc += c * z[v];
+        return acc;
+    }
+};
+
+/** One constraint: A * B = C. */
+template <typename Fr>
+struct Constraint {
+    LinComb<Fr> a, b, c;
+};
+
+/**
+ * A constraint system plus variable bookkeeping. Build with
+ * allocVar()/addConstraint(); the workload module provides gadget
+ * helpers on top.
+ */
+template <typename Fr>
+class R1cs
+{
+  public:
+    /** @param num_public count of public input variables x. */
+    explicit R1cs(std::size_t num_public = 0)
+        : numVars_(1 + num_public), numPublic_(num_public)
+    {}
+
+    /** Allocate a new witness variable; returns its index. */
+    std::size_t
+    allocVar()
+    {
+        return numVars_++;
+    }
+
+    void
+    addConstraint(LinComb<Fr> a, LinComb<Fr> b, LinComb<Fr> c)
+    {
+        constraints_.push_back({std::move(a), std::move(b),
+                                std::move(c)});
+    }
+
+    std::size_t numVars() const { return numVars_; }
+    std::size_t numPublic() const { return numPublic_; }
+    std::size_t numConstraints() const { return constraints_.size(); }
+    const std::vector<Constraint<Fr>> &constraints() const
+    {
+        return constraints_;
+    }
+
+    /** Check z (with z[0] == 1) against every constraint. */
+    bool
+    isSatisfied(const std::vector<Fr> &z) const
+    {
+        if (z.size() != numVars_ || z[0] != Fr::one())
+            return false;
+        for (const auto &cs : constraints_) {
+            if (cs.a.evaluate(z) * cs.b.evaluate(z) != cs.c.evaluate(z))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::size_t numVars_;
+    std::size_t numPublic_;
+    std::vector<Constraint<Fr>> constraints_;
+};
+
+} // namespace gzkp::zkp
+
+#endif // GZKP_ZKP_R1CS_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Prime-field tests, typed over every field GZKP-CPP supports
+ * (BN254, BLS12-381, MNT4753-sim; scalar and base fields each).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/field_tags.hh"
+
+using namespace gzkp::ff;
+
+template <typename F>
+class FpTest : public ::testing::Test
+{
+  protected:
+    std::mt19937_64 rng{12345};
+};
+
+using AllFields = ::testing::Types<Bn254Fr, Bn254Fq, Bls381Fr, Bls381Fq,
+                                   Mnt4753Fr, Mnt4753Fq>;
+TYPED_TEST_SUITE(FpTest, AllFields);
+
+TYPED_TEST(FpTest, AdditiveGroup)
+{
+    using F = TypeParam;
+    for (int i = 0; i < 20; ++i) {
+        F a = F::random(this->rng), b = F::random(this->rng);
+        F c = F::random(this->rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a + F::zero(), a);
+        EXPECT_EQ(a + (-a), F::zero());
+        EXPECT_EQ(a - b, a + (-b));
+    }
+}
+
+TYPED_TEST(FpTest, MultiplicativeGroup)
+{
+    using F = TypeParam;
+    for (int i = 0; i < 20; ++i) {
+        F a = F::random(this->rng), b = F::random(this->rng);
+        F c = F::random(this->rng);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * F::one(), a);
+        if (!a.isZero())
+            EXPECT_EQ(a * a.inverse(), F::one());
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+    }
+}
+
+TYPED_TEST(FpTest, MontgomeryRoundTrip)
+{
+    using F = TypeParam;
+    for (int i = 0; i < 20; ++i) {
+        F a = F::random(this->rng);
+        EXPECT_EQ(F::fromBigInt(a.toBigInt()), a);
+    }
+    EXPECT_TRUE(F::zero().toBigInt().isZero());
+    EXPECT_EQ(F::one().toBigInt(), F::Repr::one());
+    EXPECT_EQ(F::fromUint64(7) + F::fromUint64(8), F::fromUint64(15));
+}
+
+TYPED_TEST(FpTest, SquareAndDouble)
+{
+    using F = TypeParam;
+    F a = F::random(this->rng);
+    EXPECT_EQ(a.squared(), a * a);
+    EXPECT_EQ(a.dbl(), a + a);
+}
+
+TYPED_TEST(FpTest, PowLaws)
+{
+    using F = TypeParam;
+    F a = F::random(this->rng);
+    EXPECT_EQ(a.pow(std::uint64_t(0)), F::one());
+    EXPECT_EQ(a.pow(std::uint64_t(1)), a);
+    EXPECT_EQ(a.pow(std::uint64_t(5)), a * a * a * a * a);
+    // Fermat: a^(p-1) = 1.
+    typename F::Repr pm1;
+    F::Repr::sub(F::modulus(), F::Repr::one(), pm1);
+    if (!a.isZero())
+        EXPECT_EQ(a.pow(pm1), F::one());
+}
+
+TYPED_TEST(FpTest, ZeroEdgeCases)
+{
+    using F = TypeParam;
+    EXPECT_EQ(F::zero() * F::random(this->rng), F::zero());
+    EXPECT_EQ(-F::zero(), F::zero());
+    EXPECT_EQ(F::zero().inverse(), F::zero()); // 0^(p-2) = 0
+    EXPECT_EQ(F::zero().legendre(), 0);
+}
+
+TYPED_TEST(FpTest, LegendreMultiplicativity)
+{
+    using F = TypeParam;
+    F a = F::random(this->rng), b = F::random(this->rng);
+    if (!a.isZero() && !b.isZero())
+        EXPECT_EQ((a * b).legendre(), a.legendre() * b.legendre());
+    // Squares are residues.
+    EXPECT_EQ(a.squared().legendre(), a.isZero() ? 0 : 1);
+}
+
+TYPED_TEST(FpTest, RootOfUnityOrders)
+{
+    using F = TypeParam;
+    std::size_t s = F::twoAdicity();
+    ASSERT_GE(s, 1u);
+    std::size_t k = std::min<std::size_t>(s, 8);
+    F w = F::rootOfUnity(k);
+    // w has order exactly 2^k.
+    F t = w;
+    for (std::size_t i = 0; i + 1 < k; ++i)
+        t = t.squared();
+    EXPECT_EQ(t, -F::one()); // order-2 element is -1
+    EXPECT_EQ(t.squared(), F::one());
+    EXPECT_THROW(F::rootOfUnity(s + 1), std::invalid_argument);
+}
+
+TYPED_TEST(FpTest, BatchInverseMatchesSingle)
+{
+    using F = TypeParam;
+    std::vector<F> xs;
+    for (int i = 0; i < 17; ++i)
+        xs.push_back(F::random(this->rng));
+    xs[3] = F::zero(); // zeros must pass through
+    auto expect = xs;
+    for (auto &x : expect)
+        x = x.inverse();
+    expect[3] = F::zero();
+    batchInverse(xs);
+    EXPECT_EQ(xs.size(), expect.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(xs[i], expect[i]);
+}
+
+TYPED_TEST(FpTest, RandomIsReduced)
+{
+    using F = TypeParam;
+    for (int i = 0; i < 50; ++i) {
+        F a = F::random(this->rng);
+        EXPECT_LT(a.raw(), F::modulus());
+    }
+}
+
+// --- Field-specific known-answer tests ---
+
+TEST(FpKnown, Bn254Constants)
+{
+    EXPECT_EQ(Bn254Fr::bits(), 254u);
+    EXPECT_EQ(Bn254Fr::twoAdicity(), 28u);
+    EXPECT_EQ(Bn254Fr::params().generator, 5u);
+    EXPECT_EQ(Bn254Fq::bits(), 254u);
+}
+
+TEST(FpKnown, Bls381Constants)
+{
+    EXPECT_EQ(Bls381Fr::bits(), 255u);
+    EXPECT_EQ(Bls381Fr::twoAdicity(), 32u);
+    EXPECT_EQ(Bls381Fq::bits(), 381u);
+    EXPECT_EQ(Bls381Fq::kLimbs, 6u);
+}
+
+TEST(FpKnown, Mnt4753SimConstants)
+{
+    EXPECT_EQ(Mnt4753Fr::bits(), 753u);
+    EXPECT_EQ(Mnt4753Fr::twoAdicity(), 30u);
+    EXPECT_EQ(Mnt4753Fq::bits(), 753u);
+    // q = 3 mod 4 so point sampling can use simple square roots.
+    EXPECT_EQ(Mnt4753Fq::modulus().limbs[0] % 4, 3u);
+}
+
+TEST(FpKnown, SqrtOnQFields)
+{
+    std::mt19937_64 rng(7);
+    auto a = Bn254Fq::random(rng);
+    auto sq = a.squared();
+    auto r = sq.sqrt();
+    EXPECT_EQ(r.squared(), sq);
+    auto b = Mnt4753Fq::random(rng).squared();
+    EXPECT_EQ(b.sqrt().squared(), b);
+    EXPECT_EQ(Bn254Fq::zero().sqrt(), Bn254Fq::zero());
+}
+
+TEST(FpKnown, SqrtRejectsNonResidue)
+{
+    // The stored generator is a quadratic non-residue by definition.
+    auto g = Bn254Fq::fromUint64(Bn254Fq::params().generator);
+    EXPECT_EQ(g.legendre(), -1);
+    EXPECT_THROW(g.sqrt(), std::domain_error);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The floating-point (base-2^52 Dekker) backend must agree with the
+ * integer CIOS path bit-for-bit on every field (paper Section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/field_tags.hh"
+#include "ff/fpu_backend.hh"
+
+using namespace gzkp::ff;
+
+template <typename F>
+class FpuBackendTest : public ::testing::Test
+{
+  protected:
+    std::mt19937_64 rng{777};
+};
+
+using AllFields = ::testing::Types<Bn254Fr, Bn254Fq, Bls381Fr, Bls381Fq,
+                                   Mnt4753Fr, Mnt4753Fq>;
+TYPED_TEST_SUITE(FpuBackendTest, AllFields);
+
+TYPED_TEST(FpuBackendTest, MatchesIntegerBackend)
+{
+    using F = TypeParam;
+    for (int i = 0; i < 200; ++i) {
+        F a = F::random(this->rng), b = F::random(this->rng);
+        EXPECT_EQ(fpuMul(a, b), a * b);
+    }
+}
+
+TYPED_TEST(FpuBackendTest, EdgeValues)
+{
+    using F = TypeParam;
+    F mone = -F::one();
+    EXPECT_EQ(fpuMul(F::zero(), F::random(this->rng)), F::zero());
+    EXPECT_EQ(fpuMul(F::one(), mone), mone);
+    EXPECT_EQ(fpuMul(mone, mone), F::one()); // (p-1)^2 = 1 mod p
+}
+
+TYPED_TEST(FpuBackendTest, OpCountsMatchDigits)
+{
+    using F = TypeParam;
+    FpuOpCount count;
+    F a = F::random(this->rng), b = F::random(this->rng);
+    fpuMul(a, b, &count);
+    std::size_t d = fpuDigits(F::bits());
+    EXPECT_EQ(count.dmul, d * d);
+    EXPECT_EQ(count.dfma, d * d);
+    EXPECT_GT(count.iops, 0u);
+}
+
+TEST(FpuBackend, DigitCounts)
+{
+    EXPECT_EQ(fpuDigits(256), 5u);
+    EXPECT_EQ(fpuDigits(381), 8u);
+    EXPECT_EQ(fpuDigits(753), 15u);
+}
+
+TEST(FpuBackend, MontReduceWideMatchesMontMul)
+{
+    std::mt19937_64 rng(9);
+    const auto &pp = Bls381Fq::params();
+    for (int i = 0; i < 50; ++i) {
+        auto a = Bls381Fq::random(rng);
+        auto b = Bls381Fq::random(rng);
+        auto wide = BigInt<6>::mulWide(a.raw(), b.raw());
+        EXPECT_EQ(montReduceWide<6>(wide, pp), (a * b).raw());
+    }
+}
+
+TEST(FpuBackend, SpeedupModelMonotone)
+{
+    // Wider fields benefit at least as much from the DP pipes.
+    EXPECT_LE(fpuBackendSpeedup(4), fpuBackendSpeedup(6));
+    EXPECT_LE(fpuBackendSpeedup(6), fpuBackendSpeedup(12));
+    EXPECT_GT(fpuBackendSpeedup(4), 1.0);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * GPU execution/performance model tests: warp coalescing accounting,
+ * roofline behaviour, and device configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hh"
+#include "gpusim/memtrace.hh"
+#include "gpusim/perf_model.hh"
+
+using namespace gzkp::gpusim;
+
+TEST(MemTrace, ContiguousWarpAccessFullyUtilized)
+{
+    MemTrace mt(32);
+    std::vector<std::uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(l * 8); // 32 lanes x 8 B contiguous
+    mt.warpAccess(addrs, 8);
+    EXPECT_EQ(mt.linesTouched(), 8u); // 256 B / 32 B
+    EXPECT_EQ(mt.usefulBytes(), 256u);
+    EXPECT_DOUBLE_EQ(mt.utilization(), 1.0);
+}
+
+TEST(MemTrace, StridedAccessWastesLines)
+{
+    MemTrace mt(32);
+    std::vector<std::uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(std::uint64_t(l) * 256); // 8 B used per line
+    mt.warpAccess(addrs, 8);
+    EXPECT_EQ(mt.linesTouched(), 32u);
+    EXPECT_DOUBLE_EQ(mt.utilization(), 0.25);
+}
+
+TEST(MemTrace, DuplicateAddressesCountOnce)
+{
+    MemTrace mt(32);
+    mt.warpAccess({0, 0, 8, 16, 24}, 8);
+    EXPECT_EQ(mt.linesTouched(), 1u);
+}
+
+TEST(MemTrace, StraddlingAccessTouchesBothLines)
+{
+    MemTrace mt(32);
+    mt.warpAccess({28}, 8); // crosses the 32 B boundary
+    EXPECT_EQ(mt.linesTouched(), 2u);
+}
+
+TEST(MemTrace, MergeAndReset)
+{
+    MemTrace a(32), b(32);
+    a.warpAccess({0}, 8);
+    b.warpAccess({64}, 8);
+    a.merge(b);
+    EXPECT_EQ(a.linesTouched(), 2u);
+    EXPECT_EQ(a.warpTransactions(), 2u);
+    a.reset();
+    EXPECT_EQ(a.linesTouched(), 0u);
+    EXPECT_DOUBLE_EQ(a.utilization(), 1.0);
+}
+
+TEST(DeviceConfig, KnownGeometry)
+{
+    auto v100 = DeviceConfig::v100();
+    EXPECT_EQ(v100.numSMs, 80u);
+    EXPECT_EQ(v100.sharedMemPerSMBytes, 48u * 1024);
+    EXPECT_EQ(v100.l2LineBytes, 32u);
+    auto ti = DeviceConfig::gtx1080ti();
+    EXPECT_LT(ti.numSMs, v100.numSMs);
+    EXPECT_LT(ti.memBandwidthGBps, v100.memBandwidthGBps);
+    EXPECT_LT(ti.dpFmaPerSMPerCycle, v100.dpFmaPerSMPerCycle);
+}
+
+TEST(PerfModel, MacCountsQuadraticInLimbs)
+{
+    EXPECT_GT(macsPerFieldMul(12), 8.0 * macsPerFieldMul(4) * 0.9);
+    EXPECT_LT(macsPerFieldAdd(12), macsPerFieldMul(12));
+}
+
+TEST(PerfModel, ComputeScalesWithWork)
+{
+    auto dev = DeviceConfig::v100();
+    KernelStats s;
+    s.limbs = 4;
+    s.fieldMuls = 1e6;
+    s.numBlocks = 1000;
+    double t1 = modelComputeSeconds(s, dev);
+    s.fieldMuls = 2e6;
+    EXPECT_NEAR(modelComputeSeconds(s, dev), 2 * t1, 1e-12);
+}
+
+TEST(PerfModel, FewBlocksUnderusesChip)
+{
+    auto dev = DeviceConfig::v100();
+    KernelStats s;
+    s.limbs = 4;
+    s.fieldMuls = 1e6;
+    s.numBlocks = 8; // only 8 of 80 SMs busy
+    double t_small = modelComputeSeconds(s, dev);
+    s.numBlocks = 800;
+    double t_full = modelComputeSeconds(s, dev);
+    EXPECT_NEAR(t_small, 10 * t_full, t_full * 0.01);
+}
+
+TEST(PerfModel, IdleLanesSlowCompute)
+{
+    auto dev = DeviceConfig::v100();
+    KernelStats s;
+    s.limbs = 4;
+    s.fieldMuls = 1e6;
+    s.numBlocks = 1000;
+    double t1 = modelComputeSeconds(s, dev);
+    s.idleLaneFactor = 0.5;
+    EXPECT_NEAR(modelComputeSeconds(s, dev), 2 * t1, 1e-12);
+}
+
+TEST(PerfModel, FpuLibSpeedsUpOnV100NotOn1080Ti)
+{
+    auto v100 = DeviceConfig::v100();
+    auto ti = DeviceConfig::gtx1080ti();
+    EXPECT_GT(fpuSpeedupOnDevice(v100, 6), 1.3);
+    EXPECT_LT(fpuSpeedupOnDevice(ti, 6), 1.1);
+    KernelStats s;
+    s.limbs = 6;
+    s.fieldMuls = 1e6;
+    s.numBlocks = 1000;
+    EXPECT_LT(modelComputeSeconds(s, v100, Backend::FpuLib),
+              modelComputeSeconds(s, v100, Backend::IntOnly));
+}
+
+TEST(PerfModel, ScatteredMemoryCostsMore)
+{
+    auto dev = DeviceConfig::v100();
+    KernelStats streaming;
+    streaming.linesTouched = 1000000;
+    streaming.usefulBytes = 1000000 * 32; // 100% utilization
+    KernelStats scattered = streaming;
+    scattered.usefulBytes = 1000000 * 8; // 25% utilization
+    EXPECT_GT(modelMemorySeconds(scattered, dev),
+              modelMemorySeconds(streaming, dev));
+}
+
+TEST(PerfModel, RooflineTakesMax)
+{
+    auto dev = DeviceConfig::v100();
+    KernelStats s;
+    s.limbs = 4;
+    s.fieldMuls = 1;        // negligible compute
+    s.linesTouched = 1u << 28;
+    s.usefulBytes = std::uint64_t(32) << 28;
+    s.numBlocks = 1000;
+    double mem = modelMemorySeconds(s, dev);
+    EXPECT_GE(modelSeconds(s, dev), mem);
+}
+
+TEST(PerfModel, KernelStatsAggregation)
+{
+    KernelStats a, b;
+    a.fieldMuls = 100;
+    a.idleLaneFactor = 1.0;
+    a.numLaunches = 1;
+    b.fieldMuls = 300;
+    b.idleLaneFactor = 0.5;
+    b.numLaunches = 2;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.fieldMuls, 400);
+    EXPECT_EQ(a.numLaunches, 3u);
+    // Weighted average: (1.0*100 + 0.5*300)/400 = 0.625.
+    EXPECT_NEAR(a.idleLaneFactor, 0.625, 1e-12);
+}
+
+TEST(PerfModel, CpuModelAnchoredOnPaperNumbers)
+{
+    // Section 1: 230 ns per 381-bit modular multiplication.
+    CpuConfig cpu;
+    EXPECT_DOUBLE_EQ(cpu.mulNs(6), 230.0);
+    EXPECT_DOUBLE_EQ(cpu.addNs(6), 43.0);
+    // 753-bit is (12/6)^2 = 4x the multiplication cost.
+    EXPECT_DOUBLE_EQ(cpu.mulNs(12), 920.0);
+
+    CpuStats s;
+    s.limbs = 6;
+    s.fieldMuls = 1e9;
+    double t = cpuModelSeconds(s, cpu);
+    EXPECT_GT(t, 0.0);
+    // More threads => faster (serial fraction bounds the gain).
+    CpuConfig wide = cpu;
+    wide.threads = 112;
+    EXPECT_LT(cpuModelSeconds(s, wide), t);
+}

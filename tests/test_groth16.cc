@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Groth16 protocol tests: setup/prove/verify roundtrips on BN254
+ * (real pairing verifier) and BLS12-381 (trapdoor self-check), MSM
+ * engine interchangeability, and soundness (tamper rejection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "workload/workloads.hh"
+#include "zkp/groth16.hh"
+#include "zkp/groth16_bn254.hh"
+
+using namespace gzkp;
+using namespace gzkp::zkp;
+
+namespace {
+
+template <typename Fr>
+workload::Builder<Fr>
+factorCircuit(std::uint64_t p, std::uint64_t q)
+{
+    // Prove knowledge of factors p*q = public product, with some
+    // extra structure so the domain is nontrivial.
+    workload::Builder<Fr> b(1);
+    auto pv = b.alloc(Fr::fromUint64(p));
+    auto qv = b.alloc(Fr::fromUint64(q));
+    b.setPublic(1, Fr::fromUint64(p) * Fr::fromUint64(q));
+    b.constrain(LinComb<Fr>(pv, Fr::one()), LinComb<Fr>(qv, Fr::one()),
+                LinComb<Fr>(1, Fr::one()));
+    auto cur = pv;
+    for (int i = 0; i < 30; ++i)
+        cur = b.mul(cur, qv);
+    b.decompose(pv, 32);
+    return b;
+}
+
+} // namespace
+
+template <typename Family>
+class Groth16Test : public ::testing::Test
+{
+  protected:
+    std::mt19937_64 rng{4242};
+};
+
+using Families = ::testing::Types<Bn254Family, Bls381Family>;
+TYPED_TEST_SUITE(Groth16Test, Families);
+
+TYPED_TEST(Groth16Test, ProveVerifyRoundTrip)
+{
+    using Fr = typename TypeParam::Fr;
+    using G16 = Groth16<TypeParam>;
+    auto b = factorCircuit<Fr>(641, 6700417);
+    ASSERT_TRUE(b.cs().isSatisfied(b.assignment()));
+
+    auto keys = G16::setup(b.cs(), this->rng);
+    typename G16::ProofAux aux;
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(),
+                            this->rng, &aux);
+    EXPECT_TRUE(G16::verifyWithTrapdoor(keys, b.cs(), b.assignment(),
+                                        proof, aux));
+}
+
+TYPED_TEST(Groth16Test, SerialAndGzkpProversAgree)
+{
+    using Fr = typename TypeParam::Fr;
+    using G16 = Groth16<TypeParam>;
+    auto b = factorCircuit<Fr>(17, 19);
+    auto keys = G16::setup(b.cs(), this->rng);
+
+    // Same seed => same (r, s) => byte-identical proofs across MSM
+    // engines: a strong cross-engine equivalence check.
+    std::mt19937_64 r1(7), r2(7);
+    typename G16::ProofAux a1, a2;
+    auto p1 = G16::template prove<SerialMsmPolicy>(
+        keys.pk, b.cs(), b.assignment(), r1, &a1);
+    auto p2 = G16::template prove<GzkpMsmPolicy>(
+        keys.pk, b.cs(), b.assignment(), r2, &a2);
+    EXPECT_EQ(p1.a, p2.a);
+    EXPECT_EQ(p1.b, p2.b);
+    EXPECT_EQ(p1.c, p2.c);
+}
+
+TYPED_TEST(Groth16Test, TamperedWitnessFailsSelfCheck)
+{
+    using Fr = typename TypeParam::Fr;
+    using G16 = Groth16<TypeParam>;
+    auto b = factorCircuit<Fr>(3, 5);
+    auto keys = G16::setup(b.cs(), this->rng);
+    typename G16::ProofAux aux;
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(),
+                            this->rng, &aux);
+    // A proof for witness z must not check out against witness z'.
+    auto z2 = b.assignment();
+    z2.back() += Fr::one();
+    EXPECT_FALSE(G16::verifyWithTrapdoor(keys, b.cs(), z2, proof, aux));
+}
+
+TYPED_TEST(Groth16Test, TamperedProofFailsSelfCheck)
+{
+    using Fr = typename TypeParam::Fr;
+    using G16 = Groth16<TypeParam>;
+    auto b = factorCircuit<Fr>(11, 13);
+    auto keys = G16::setup(b.cs(), this->rng);
+    typename G16::ProofAux aux;
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(),
+                            this->rng, &aux);
+    auto bad = proof;
+    bad.a = Groth16<TypeParam>::G1::generator().toAffine();
+    EXPECT_FALSE(G16::verifyWithTrapdoor(keys, b.cs(), b.assignment(),
+                                         bad, aux));
+}
+
+TYPED_TEST(Groth16Test, RejectsWrongWitnessSize)
+{
+    using Fr = typename TypeParam::Fr;
+    using G16 = Groth16<TypeParam>;
+    auto b = factorCircuit<Fr>(3, 7);
+    auto keys = G16::setup(b.cs(), this->rng);
+    std::vector<Fr> short_z(b.assignment().begin(),
+                            b.assignment().end() - 1);
+    EXPECT_THROW(G16::prove(keys.pk, b.cs(), short_z, this->rng),
+                 std::invalid_argument);
+}
+
+// --- Real pairing verification on BN254 ---
+
+class Groth16Bn254 : public ::testing::Test
+{
+  protected:
+    using G16 = Groth16<Bn254Family>;
+    using Fr = ff::Bn254Fr;
+    std::mt19937_64 rng{99};
+};
+
+TEST_F(Groth16Bn254, PairingVerifierAcceptsValidProof)
+{
+    auto b = factorCircuit<Fr>(101, 103);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    EXPECT_TRUE(verifyBn254(keys.vk, proof, pub));
+}
+
+TEST_F(Groth16Bn254, PairingVerifierRejectsWrongPublicInput)
+{
+    auto b = factorCircuit<Fr>(101, 103);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1] + Fr::one()};
+    EXPECT_FALSE(verifyBn254(keys.vk, proof, pub));
+}
+
+TEST_F(Groth16Bn254, PairingVerifierRejectsTamperedProof)
+{
+    auto b = factorCircuit<Fr>(5, 11);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1]};
+
+    auto bad = proof;
+    bad.c = G16::G1::generator().mul(std::uint64_t(3)).toAffine();
+    EXPECT_FALSE(verifyBn254(keys.vk, bad, pub));
+
+    bad = proof;
+    bad.b = G16::G2::generator().toAffine();
+    EXPECT_FALSE(verifyBn254(keys.vk, bad, pub));
+}
+
+TEST_F(Groth16Bn254, PairingVerifierRejectsWrongInputCount)
+{
+    auto b = factorCircuit<Fr>(5, 11);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    EXPECT_FALSE(verifyBn254(keys.vk, proof, {}));
+}
+
+TEST_F(Groth16Bn254, ProofsAreRerandomized)
+{
+    // Two proofs of the same statement differ (zero-knowledge), yet
+    // both verify.
+    auto b = factorCircuit<Fr>(7, 13);
+    auto keys = G16::setup(b.cs(), rng);
+    auto p1 = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    auto p2 = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    EXPECT_NE(p1.a, p2.a);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    EXPECT_TRUE(verifyBn254(keys.vk, p1, pub));
+    EXPECT_TRUE(verifyBn254(keys.vk, p2, pub));
+}
+
+TEST_F(Groth16Bn254, TrapdoorAndPairingVerifiersAgree)
+{
+    auto b = factorCircuit<Fr>(29, 31);
+    auto keys = G16::setup(b.cs(), rng);
+    G16::ProofAux aux;
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng, &aux);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    bool td = G16::verifyWithTrapdoor(keys, b.cs(), b.assignment(),
+                                      proof, aux);
+    bool pr = verifyBn254(keys.vk, proof, pub);
+    EXPECT_TRUE(td);
+    EXPECT_TRUE(pr);
+}

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * MSM tests: every variant (serial Pippenger, Straus, bellperson-
+ * like, GZKP in both checkpoint modes) against the naive PMUL-sum
+ * oracle, over dense, sparse, and adversarial scalar vectors; plus
+ * the workload-management and memory-model behaviours of Section 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "ec/curves.hh"
+#include "msm/msm_bellperson.hh"
+#include "msm/msm_gzkp.hh"
+#include "msm/msm_serial.hh"
+#include "msm/msm_straus.hh"
+
+using namespace gzkp;
+using namespace gzkp::ec;
+using namespace gzkp::msm;
+
+using Cfg = Bn254G1Cfg;
+using Fr = ff::Bn254Fr;
+using Pt = Bn254G1;
+
+namespace {
+
+struct Instance {
+    std::vector<Bn254G1Affine> points;
+    std::vector<Fr> scalars;
+};
+
+enum class ScalarKind { Dense, Sparse01, Adversarial };
+
+Instance
+makeInstance(std::size_t n, ScalarKind kind, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    Instance in;
+    auto g = Pt::generator();
+    for (std::size_t i = 0; i < n; ++i) {
+        in.points.push_back(g.mul(Fr::random(rng)).toAffine());
+        switch (kind) {
+          case ScalarKind::Dense:
+            in.scalars.push_back(Fr::random(rng));
+            break;
+          case ScalarKind::Sparse01:
+            switch (rng() % 3) {
+              case 0: in.scalars.push_back(Fr::zero()); break;
+              case 1: in.scalars.push_back(Fr::one()); break;
+              default: in.scalars.push_back(Fr::random(rng));
+            }
+            break;
+          case ScalarKind::Adversarial:
+            switch (rng() % 4) {
+              case 0: in.scalars.push_back(-Fr::one()); break;   // r-1
+              case 1: in.scalars.push_back(Fr::zero()); break;
+              case 2: in.scalars.push_back(Fr::fromUint64(1) +
+                                           Fr::fromUint64(rng() % 3));
+                      break;
+              default: in.scalars.push_back(Fr::random(rng));
+            }
+            // Duplicate points stress bucket merging.
+            if (i > 0 && (rng() % 4) == 0)
+                in.points[i] = in.points[i - 1];
+            break;
+        }
+    }
+    return in;
+}
+
+} // namespace
+
+class MsmVariantTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+  protected:
+    Instance
+    instance() const
+    {
+        auto [n, kind] = GetParam();
+        return makeInstance(n, ScalarKind(kind), 17 * n + kind);
+    }
+};
+
+TEST_P(MsmVariantTest, SerialPippengerMatchesNaive)
+{
+    auto in = instance();
+    auto expect = msmNaive<Cfg>(in.points, in.scalars);
+    EXPECT_EQ(PippengerSerial<Cfg>().run(in.points, in.scalars), expect);
+    EXPECT_EQ(PippengerSerial<Cfg>(13).run(in.points, in.scalars),
+              expect); // non-default window
+}
+
+TEST_P(MsmVariantTest, StrausMatchesNaive)
+{
+    auto in = instance();
+    auto expect = msmNaive<Cfg>(in.points, in.scalars);
+    EXPECT_EQ(StrausMsm<Cfg>(4).run(in.points, in.scalars), expect);
+}
+
+TEST_P(MsmVariantTest, BellpersonMatchesNaive)
+{
+    auto in = instance();
+    auto expect = msmNaive<Cfg>(in.points, in.scalars);
+    EXPECT_EQ(BellpersonMsm<Cfg>(9, 3).run(in.points, in.scalars),
+              expect);
+}
+
+TEST_P(MsmVariantTest, GzkpHornerMatchesNaive)
+{
+    auto in = instance();
+    auto expect = msmNaive<Cfg>(in.points, in.scalars);
+    GzkpMsm<Cfg>::Options o;
+    o.k = 8;
+    for (std::size_t m : {1u, 3u, 7u}) {
+        o.checkpointM = m;
+        EXPECT_EQ(GzkpMsm<Cfg>(o).run(in.points, in.scalars), expect)
+            << "M=" << m;
+    }
+}
+
+TEST_P(MsmVariantTest, GzkpPerPointMatchesNaive)
+{
+    auto in = instance();
+    auto expect = msmNaive<Cfg>(in.points, in.scalars);
+    GzkpMsm<Cfg>::Options o;
+    o.k = 8;
+    o.mode = CheckpointMode::PerPoint;
+    o.checkpointM = 4;
+    EXPECT_EQ(GzkpMsm<Cfg>(o).run(in.points, in.scalars), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, MsmVariantTest,
+    ::testing::Combine(::testing::Values(1, 2, 31, 100),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(Msm, AllZeroScalars)
+{
+    auto in = makeInstance(20, ScalarKind::Dense, 7);
+    for (auto &s : in.scalars)
+        s = Fr::zero();
+    EXPECT_TRUE(GzkpMsm<Cfg>().run(in.points, in.scalars).isZero());
+    EXPECT_TRUE(PippengerSerial<Cfg>().run(in.points, in.scalars)
+                    .isZero());
+}
+
+TEST(Msm, PreprocessedReuseAcrossScalarVectors)
+{
+    // The proving key is fixed; preprocess once, run many (S4.1).
+    auto in = makeInstance(40, ScalarKind::Dense, 8);
+    GzkpMsm<Cfg>::Options o;
+    o.k = 8;
+    o.checkpointM = 2;
+    GzkpMsm<Cfg> engine(o);
+    auto pre = engine.preprocess(in.points);
+    for (int round = 0; round < 3; ++round) {
+        auto in2 = makeInstance(40, ScalarKind::Sparse01, 90 + round);
+        in2.points = in.points;
+        EXPECT_EQ(engine.run(pre, in2.scalars),
+                  msmNaive<Cfg>(in2.points, in2.scalars));
+    }
+}
+
+TEST(Msm, PreprocessedPointsAreWeighted)
+{
+    auto in = makeInstance(5, ScalarKind::Dense, 9);
+    GzkpMsm<Cfg>::Options o;
+    o.k = 8;
+    o.checkpointM = 3;
+    auto pre = GzkpMsm<Cfg>(o).preprocess(in.points);
+    // pre[c*n+i] == 2^(c*M*k) * P_i.
+    ASSERT_GE(pre.checkpoints, 2u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        auto expect = Pt::fromAffine(in.points[i]);
+        for (std::size_t d = 0; d < o.checkpointM * o.k; ++d)
+            expect = expect.dbl();
+        EXPECT_EQ(Pt::fromAffine(pre.pre[pre.n + i]), expect);
+    }
+}
+
+TEST(Msm, WindowDigitExtraction)
+{
+    auto s = ff::BigInt<4>::fromHex("0xabcdef");
+    EXPECT_EQ(windowDigit(s, 0, 8), 0xefu);
+    EXPECT_EQ(windowDigit(s, 1, 8), 0xcdu);
+    EXPECT_EQ(windowDigit(s, 2, 8), 0xabu);
+    EXPECT_EQ(windowDigit(s, 3, 8), 0u);
+    EXPECT_EQ(windowCount(255, 16), 16u);
+    EXPECT_EQ(windowCount(753, 16), 48u);
+}
+
+TEST(Msm, BucketHistogramSparseProfile)
+{
+    std::mt19937_64 rng(10);
+    std::vector<Fr> scalars;
+    for (int i = 0; i < 3000; ++i) {
+        int c = rng() % 10;
+        if (c < 3)
+            scalars.push_back(Fr::zero());
+        else if (c < 6)
+            scalars.push_back(Fr::one());
+        else
+            scalars.push_back(Fr::random(rng));
+    }
+    auto hist = bucketLoadHistogram(scalars, 8);
+    EXPECT_EQ(hist[0], 0u); // bucket 0 excluded by definition
+    // All the 1-scalars land in bucket 1 (their only nonzero digit).
+    EXPECT_GT(hist[1], hist[2] * 2);
+    // Total entries = nonzero digits only.
+    auto total = std::accumulate(hist.begin(), hist.end(),
+                                 std::uint64_t(0));
+    EXPECT_GT(total, 0u);
+}
+
+TEST(Msm, TaskGroupsOrderedHeaviestFirst)
+{
+    std::vector<std::uint64_t> loads = {5, 100, 0, 7, 90, 3, 0, 50,
+                                        45, 2, 1, 60};
+    auto groups = groupTasksByLoad(loads, 4);
+    ASSERT_FALSE(groups.empty());
+    for (std::size_t i = 0; i + 1 < groups.size(); ++i)
+        EXPECT_GE(groups[i].minLoad, groups[i + 1].maxLoad);
+    std::size_t total_tasks = 0;
+    for (auto &g : groups) {
+        EXPECT_LE(g.minLoad, g.maxLoad);
+        total_tasks += g.tasks;
+    }
+    EXPECT_EQ(total_tasks, 10u); // nonzero loads only
+}
+
+TEST(Msm, TaskGroupsEmptyInput)
+{
+    EXPECT_TRUE(groupTasksByLoad({}, 4).empty());
+    EXPECT_TRUE(groupTasksByLoad({0, 0, 0}, 4).empty());
+}
+
+TEST(Msm, LoadBalancingReducesModeledImbalance)
+{
+    std::mt19937_64 rng(11);
+    std::vector<Fr> scalars;
+    for (int i = 0; i < 5000; ++i)
+        scalars.push_back((rng() % 2) ? Fr::one() : Fr::random(rng));
+    auto dev = gpusim::DeviceConfig::v100();
+    GzkpMsm<Cfg>::Options with_lb, no_lb;
+    with_lb.k = no_lb.k = 12;
+    with_lb.checkpointM = no_lb.checkpointM = 1;
+    no_lb.loadBalance = false;
+    auto s_lb = GzkpMsm<Cfg>(with_lb).gpuStats(scalars.size(), dev,
+                                               &scalars);
+    auto s_no = GzkpMsm<Cfg>(no_lb).gpuStats(scalars.size(), dev,
+                                             &scalars);
+    EXPECT_LT(s_lb.loadImbalanceFactor, s_no.loadImbalanceFactor);
+    EXPECT_GE(s_lb.loadImbalanceFactor, 1.0);
+}
+
+TEST(Msm, StrausMemoryExplodesGzkpAdapts)
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    StrausMsm<Mnt4753G1Cfg> straus;
+    GzkpMsm<Mnt4753G1Cfg> gzkp;
+    // Paper Figure 9: MINA OOMs above 2^22; GZKP keeps fitting.
+    EXPECT_TRUE(straus.fits(1u << 22, dev));
+    EXPECT_FALSE(straus.fits(1u << 24, dev));
+    EXPECT_LE(gzkp.memoryBytes(1u << 24), dev.globalMemBytes);
+    EXPECT_LE(gzkp.memoryBytes(1u << 26), dev.globalMemBytes);
+}
+
+TEST(Msm, AutoIntervalGrowsWithScale)
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    auto m_small = GzkpMsm<Mnt4753G1Cfg>::autoInterval(1u << 16, 16,
+                                                       dev, 0.6);
+    auto m_large = GzkpMsm<Mnt4753G1Cfg>::autoInterval(1u << 26, 16,
+                                                       dev, 0.6);
+    EXPECT_EQ(m_small, 1u); // full precompute fits at small scales
+    EXPECT_GT(m_large, m_small);
+}
+
+TEST(Msm, ProfiledWindowIsReasonable)
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    auto k = GzkpMsm<Cfg>::profileWindow(1u << 20, dev);
+    EXPECT_GE(k, 6u);
+    EXPECT_LE(k, 18u);
+    // Larger instances never profile to a smaller window.
+    auto k_small = GzkpMsm<Cfg>::profileWindow(1u << 14, dev);
+    EXPECT_LE(k_small, k);
+}
+
+TEST(Msm, BellpersonImbalanceWorseOnSparseScalars)
+{
+    std::mt19937_64 rng(12);
+    auto dev = gpusim::DeviceConfig::v100();
+    std::vector<Fr> dense, sparse;
+    for (int i = 0; i < 4000; ++i) {
+        dense.push_back(Fr::random(rng));
+        sparse.push_back((rng() % 4) ? ((rng() % 2) ? Fr::zero()
+                                                    : Fr::one())
+                                     : Fr::random(rng));
+    }
+    BellpersonMsm<Cfg> bp(10, 8);
+    EXPECT_GT(bp.imbalanceFromScalars(sparse, dev),
+              bp.imbalanceFromScalars(dense, dev));
+}
+
+TEST(Msm, GzkpBeatsBellpersonInModel)
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    std::size_t n = 1u << 20;
+    BellpersonMsm<Bls381G1Cfg> bp;
+    GzkpMsm<Bls381G1Cfg> gz;
+    double tb = gpusim::modelSeconds(bp.gpuStats(n, dev), dev,
+                                     gpusim::Backend::IntOnly);
+    double tg = gpusim::modelSeconds(gz.gpuStats(n, dev), dev,
+                                     gpusim::Backend::FpuLib);
+    EXPECT_GT(tb / tg, 3.0);
+    EXPECT_LT(tb / tg, 20.0);
+}

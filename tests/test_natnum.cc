@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the arbitrary-precision NatNum helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/natnum.hh"
+
+using namespace gzkp::ff;
+
+TEST(NatNum, DecRoundTrip)
+{
+    const char *d = "123456789012345678901234567890123456789";
+    EXPECT_EQ(NatNum::fromDec(d).toDec(), d);
+    EXPECT_EQ(NatNum().toDec(), "0");
+    EXPECT_EQ(NatNum(7).toDec(), "7");
+}
+
+TEST(NatNum, HexRoundTrip)
+{
+    const char *h = "0xdeadbeefcafebabe0123456789abcdef";
+    EXPECT_EQ(NatNum::fromHex(h).toHex(), h);
+    EXPECT_EQ(NatNum().toHex(), "0x0");
+}
+
+TEST(NatNum, DecHexAgree)
+{
+    EXPECT_EQ(NatNum::fromDec("255").toHex(), "0xff");
+    EXPECT_EQ(NatNum::fromHex("0x100").toDec(), "256");
+}
+
+TEST(NatNum, AddSub)
+{
+    NatNum a = NatNum::fromDec("99999999999999999999999999");
+    NatNum b(1);
+    EXPECT_EQ((a + b).toDec(), "100000000000000000000000000");
+    EXPECT_EQ((a + b - b), a);
+    EXPECT_THROW(b - a, std::underflow_error);
+}
+
+TEST(NatNum, MulDivProperty)
+{
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 40; ++i) {
+        BigInt<3> xa = BigInt<3>::random(rng);
+        BigInt<2> xb = BigInt<2>::random(rng);
+        NatNum a = NatNum::fromBigInt(xa);
+        NatNum b = NatNum::fromBigInt(xb);
+        if (b.isZero())
+            continue;
+        NatNum rem;
+        NatNum q = a.divmod(b, rem);
+        EXPECT_LT(rem.cmp(b), 0);
+        EXPECT_EQ(q * b + rem, a);
+    }
+}
+
+TEST(NatNum, DivisionEdges)
+{
+    NatNum a = NatNum::fromDec("1000");
+    EXPECT_THROW(a / NatNum(), std::domain_error);
+    EXPECT_EQ((a / a).toDec(), "1");
+    EXPECT_TRUE((a % a).isZero());
+    EXPECT_EQ((NatNum(7) / a).toDec(), "0");
+    EXPECT_EQ((NatNum(7) % a).toDec(), "7");
+}
+
+TEST(NatNum, Shifts)
+{
+    NatNum one(1);
+    EXPECT_EQ(one.shl(200).numBits(), 201u);
+    EXPECT_EQ(one.shl(200).shr(200), one);
+    EXPECT_TRUE(one.shr(1).isZero());
+    EXPECT_TRUE(NatNum().shl(100).isZero());
+}
+
+TEST(NatNum, BigIntRoundTrip)
+{
+    std::mt19937_64 rng(4);
+    BigInt<6> v = BigInt<6>::random(rng);
+    EXPECT_EQ(NatNum::fromBigInt(v).toBigInt<6>(), v);
+    NatNum big = NatNum(1).shl(500);
+    EXPECT_THROW(big.toBigInt<4>(), std::overflow_error);
+}
+
+TEST(NatNum, Bits)
+{
+    NatNum v = NatNum::fromHex("0x8001");
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_TRUE(v.bit(15));
+    EXPECT_FALSE(v.bit(14));
+    EXPECT_FALSE(v.bit(1000));
+    EXPECT_EQ(v.numBits(), 16u);
+}

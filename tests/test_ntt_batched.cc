@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Batched (HE-style, throughput-oriented) NTT tests -- the paper's
+ * Section 7 extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/field_tags.hh"
+#include "ntt/ntt_batched.hh"
+#include "ntt/ntt_cpu.hh"
+
+using namespace gzkp;
+using namespace gzkp::ntt;
+using Fr = ff::Bn254Fr;
+
+TEST(BatchedNtt, FunctionalEquivalence)
+{
+    std::mt19937_64 rng(1);
+    Domain<Fr> dom(8);
+    std::vector<std::vector<Fr>> batch(5);
+    std::vector<std::vector<Fr>> expect(5);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].resize(dom.size());
+        for (auto &x : batch[i])
+            x = Fr::random(rng);
+        expect[i] = batch[i];
+        nttInPlace(dom, expect[i]);
+    }
+    BatchedNtt<Fr> bn;
+    bn.run(dom, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i], expect[i]) << "transform " << i;
+}
+
+TEST(BatchedNtt, InverseRoundTrip)
+{
+    std::mt19937_64 rng(2);
+    Domain<Fr> dom(6);
+    std::vector<std::vector<Fr>> batch(3);
+    for (auto &v : batch) {
+        v.resize(dom.size());
+        for (auto &x : v)
+            x = Fr::random(rng);
+    }
+    auto orig = batch;
+    BatchedNtt<Fr> bn;
+    bn.run(dom, batch, false);
+    bn.run(dom, batch, true);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i], orig[i]);
+}
+
+TEST(BatchedNtt, BatchingHelpsSmallTransforms)
+{
+    // Small HE-scale transforms underfill the GPU one at a time;
+    // batching must give a real throughput gain.
+    auto dev = gpusim::DeviceConfig::v100();
+    BatchedNtt<Fr> bn;
+    double gain = bn.batchingGain(12, 64, dev);
+    EXPECT_GT(gain, 1.5);
+}
+
+TEST(BatchedNtt, BatchingNeutralForLargeTransforms)
+{
+    // One 2^22 transform already fills the device; batching only
+    // amortises launches, so the gain must be small.
+    auto dev = gpusim::DeviceConfig::v100();
+    BatchedNtt<Fr> bn;
+    double gain = bn.batchingGain(22, 4, dev);
+    EXPECT_LT(gain, 1.5);
+    EXPECT_GE(gain, 0.95); // and never a slowdown beyond noise
+}
+
+TEST(BatchedNtt, GainGrowsWithBatchThenSaturates)
+{
+    auto dev = gpusim::DeviceConfig::v100();
+    BatchedNtt<Fr> bn;
+    double g4 = bn.batchingGain(12, 4, dev);
+    double g64 = bn.batchingGain(12, 64, dev);
+    double g256 = bn.batchingGain(12, 256, dev);
+    EXPECT_LE(g4, g64 * 1.05);
+    // Saturation: beyond full occupancy, the gain stops growing fast.
+    EXPECT_LT(g256 / g64, 4.0);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * BN254 optimal ate pairing tests: non-degeneracy, order,
+ * bilinearity, and behaviour on identity inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pairing/bn254_pairing.hh"
+
+using namespace gzkp;
+using namespace gzkp::ff;
+using namespace gzkp::ec;
+using pairing::GT;
+
+class PairingTest : public ::testing::Test
+{
+  protected:
+    static const GT &
+    e0()
+    {
+        static const GT v = pairing::pairing(
+            Bn254G1::generator().toAffine(),
+            Bn254G2::generator().toAffine());
+        return v;
+    }
+
+    std::mt19937_64 rng{55};
+};
+
+TEST_F(PairingTest, NonDegenerate)
+{
+    EXPECT_NE(e0(), GT::one());
+    EXPECT_FALSE(e0().isZero());
+}
+
+TEST_F(PairingTest, HasOrderR)
+{
+    EXPECT_EQ(e0().pow(Bn254Fr::modulus()), GT::one());
+}
+
+TEST_F(PairingTest, IdentityInputs)
+{
+    auto g1 = Bn254G1::generator().toAffine();
+    auto g2 = Bn254G2::generator().toAffine();
+    EXPECT_EQ(pairing::pairing(Bn254G1Affine::identity(), g2), GT::one());
+    EXPECT_EQ(pairing::pairing(g1, Bn254G2Affine::identity()), GT::one());
+}
+
+TEST_F(PairingTest, BilinearInFirstArgument)
+{
+    auto a = Bn254Fr::random(rng);
+    auto pa = Bn254G1::generator().mul(a).toAffine();
+    auto q = Bn254G2::generator().toAffine();
+    EXPECT_EQ(pairing::pairing(pa, q), pairing::gtPow(e0(), a));
+}
+
+TEST_F(PairingTest, BilinearInSecondArgument)
+{
+    auto b = Bn254Fr::random(rng);
+    auto p = Bn254G1::generator().toAffine();
+    auto qb = Bn254G2::generator().mul(b).toAffine();
+    EXPECT_EQ(pairing::pairing(p, qb), pairing::gtPow(e0(), b));
+}
+
+TEST_F(PairingTest, FullBilinearity)
+{
+    auto a = Bn254Fr::random(rng);
+    auto b = Bn254Fr::random(rng);
+    auto pa = Bn254G1::generator().mul(a).toAffine();
+    auto qb = Bn254G2::generator().mul(b).toAffine();
+    EXPECT_EQ(pairing::pairing(pa, qb), pairing::gtPow(e0(), a * b));
+}
+
+TEST_F(PairingTest, AdditiveInFirstArgument)
+{
+    // e(P1 + P2, Q) == e(P1, Q) * e(P2, Q).
+    auto p1 = Bn254G1::generator().mul(std::uint64_t(111));
+    auto p2 = Bn254G1::generator().mul(std::uint64_t(222));
+    auto q = Bn254G2::generator().toAffine();
+    auto lhs = pairing::pairing((p1 + p2).toAffine(), q);
+    auto rhs = pairing::pairing(p1.toAffine(), q) *
+        pairing::pairing(p2.toAffine(), q);
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, NegationInverts)
+{
+    auto p = Bn254G1::generator().mul(std::uint64_t(9)).toAffine();
+    auto q = Bn254G2::generator().toAffine();
+    auto e = pairing::pairing(p, q);
+    auto en = pairing::pairing(p.negate(), q);
+    EXPECT_EQ(e * en, GT::one());
+}
+
+TEST_F(PairingTest, FinalExponentiationKillsRthPowers)
+{
+    // Any element raised to (q^12-1)/r lands in the order-r subgroup.
+    auto f = GT::random(rng);
+    auto g = pairing::finalExponentiation(f);
+    EXPECT_EQ(g.pow(Bn254Fr::modulus()), GT::one());
+}
+
+TEST_F(PairingTest, MillerLoopNonTrivial)
+{
+    auto f = pairing::millerLoop(Bn254G1::generator().toAffine(),
+                                 Bn254G2::generator().toAffine());
+    EXPECT_NE(f, GT::one());
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * R1CS layer tests: linear-combination evaluation, satisfiability
+ * edge cases, and variable bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ff/field_tags.hh"
+#include "zkp/r1cs.hh"
+
+using namespace gzkp::zkp;
+using Fr = gzkp::ff::Bn254Fr;
+
+TEST(LinComb, EvaluatesSparseSum)
+{
+    std::vector<Fr> z = {Fr::one(), Fr::fromUint64(10),
+                         Fr::fromUint64(20)};
+    LinComb<Fr> lc;
+    lc.add(0, Fr::fromUint64(5))
+        .add(1, Fr::fromUint64(2))
+        .add(2, -Fr::one());
+    // 5*1 + 2*10 - 20 = 5.
+    EXPECT_EQ(lc.evaluate(z), Fr::fromUint64(5));
+    EXPECT_EQ(LinComb<Fr>().evaluate(z), Fr::zero());
+}
+
+TEST(LinComb, RepeatedVariableAccumulates)
+{
+    std::vector<Fr> z = {Fr::one(), Fr::fromUint64(3)};
+    LinComb<Fr> lc;
+    lc.add(1, Fr::one()).add(1, Fr::one());
+    EXPECT_EQ(lc.evaluate(z), Fr::fromUint64(6));
+}
+
+TEST(R1cs, VariableIndexing)
+{
+    R1cs<Fr> cs(2); // ONE + 2 public
+    EXPECT_EQ(cs.numVars(), 3u);
+    EXPECT_EQ(cs.numPublic(), 2u);
+    auto w1 = cs.allocVar();
+    auto w2 = cs.allocVar();
+    EXPECT_EQ(w1, 3u);
+    EXPECT_EQ(w2, 4u);
+    EXPECT_EQ(cs.numVars(), 5u);
+}
+
+TEST(R1cs, SatisfiabilityBasics)
+{
+    R1cs<Fr> cs(1);
+    auto w = cs.allocVar();
+    // w * w = public.
+    cs.addConstraint(LinComb<Fr>(w, Fr::one()),
+                     LinComb<Fr>(w, Fr::one()),
+                     LinComb<Fr>(1, Fr::one()));
+    std::vector<Fr> good = {Fr::one(), Fr::fromUint64(49),
+                            Fr::fromUint64(7)};
+    EXPECT_TRUE(cs.isSatisfied(good));
+    std::vector<Fr> bad = {Fr::one(), Fr::fromUint64(50),
+                           Fr::fromUint64(7)};
+    EXPECT_FALSE(cs.isSatisfied(bad));
+}
+
+TEST(R1cs, RejectsMalformedAssignments)
+{
+    R1cs<Fr> cs(0);
+    auto w = cs.allocVar();
+    cs.addConstraint(LinComb<Fr>(w, Fr::one()),
+                     LinComb<Fr>(0, Fr::one()),
+                     LinComb<Fr>(w, Fr::one()));
+    // Wrong size.
+    EXPECT_FALSE(cs.isSatisfied({Fr::one()}));
+    EXPECT_FALSE(cs.isSatisfied({Fr::one(), Fr::one(), Fr::one()}));
+    // z[0] must be the constant ONE.
+    EXPECT_FALSE(cs.isSatisfied({Fr::fromUint64(2), Fr::one()}));
+    EXPECT_TRUE(cs.isSatisfied({Fr::one(), Fr::fromUint64(5)}));
+}
+
+TEST(R1cs, EmptySystemIsTriviallySatisfied)
+{
+    R1cs<Fr> cs(0);
+    EXPECT_EQ(cs.numConstraints(), 0u);
+    EXPECT_TRUE(cs.isSatisfied({Fr::one()}));
+}
+
+TEST(R1cs, ZeroConstantConstraint)
+{
+    // Booleanity shape: b * (b - 1) = 0 -- empty C side.
+    R1cs<Fr> cs(0);
+    auto b = cs.allocVar();
+    LinComb<Fr> bm1(b, Fr::one());
+    bm1.add(0, -Fr::one());
+    cs.addConstraint(LinComb<Fr>(b, Fr::one()), bm1, LinComb<Fr>());
+    EXPECT_TRUE(cs.isSatisfied({Fr::one(), Fr::zero()}));
+    EXPECT_TRUE(cs.isSatisfied({Fr::one(), Fr::one()}));
+    EXPECT_FALSE(cs.isSatisfied({Fr::one(), Fr::fromUint64(2)}));
+}

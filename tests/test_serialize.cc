@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Serialization round-trip and rejection tests for field elements,
+ * points, proofs, and verification keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "workload/builder.hh"
+#include "zkp/groth16_bn254.hh"
+#include "zkp/serialize.hh"
+
+using namespace gzkp;
+using namespace gzkp::zkp;
+using Fr = ff::Bn254Fr;
+using G16 = Groth16<Bn254Family>;
+
+namespace {
+
+G16::Keys
+setupSmall(std::mt19937_64 &rng, workload::Builder<Fr> &b)
+{
+    auto x = b.alloc(Fr::fromUint64(3));
+    auto y = b.alloc(Fr::fromUint64(4));
+    auto z = b.mul(x, y);
+    b.setPublic(1, b.value(z));
+    b.assertEqual(LinComb<Fr>(z, Fr::one()), 1);
+    return G16::setup(b.cs(), rng);
+}
+
+} // namespace
+
+TEST(Serialize, FieldRoundTrip)
+{
+    std::mt19937_64 rng(1);
+    for (int i = 0; i < 20; ++i) {
+        auto v = Fr::random(rng);
+        auto s = serializeField(v);
+        EXPECT_EQ(s.size(), 64u); // fixed width
+        EXPECT_EQ(deserializeField<Fr>(s), v);
+    }
+    EXPECT_EQ(deserializeField<Fr>(serializeField(Fr::zero())),
+              Fr::zero());
+}
+
+TEST(Serialize, FieldRejectsBadInput)
+{
+    EXPECT_THROW(deserializeField<Fr>("abcd"), std::invalid_argument);
+    EXPECT_THROW(deserializeField<Fr>(std::string(64, 'z')),
+                 std::invalid_argument);
+}
+
+TEST(Serialize, Fp2RoundTrip)
+{
+    std::mt19937_64 rng(2);
+    auto v = ff::Bn254Fp2::random(rng);
+    EXPECT_EQ(deserializeField2<ff::Bn254Fp2>(serializeField2(v)), v);
+}
+
+TEST(Serialize, PointRoundTrip)
+{
+    std::mt19937_64 rng(3);
+    auto p = ec::Bn254G1::generator().mul(Fr::random(rng)).toAffine();
+    EXPECT_EQ(deserializePoint<ec::Bn254G1Cfg>(
+                  serializePoint<ec::Bn254G1Cfg>(p)),
+              p);
+    auto inf = ec::Bn254G1Affine::identity();
+    EXPECT_EQ(serializePoint<ec::Bn254G1Cfg>(inf), "inf");
+    EXPECT_TRUE(deserializePoint<ec::Bn254G1Cfg>("inf").infinity);
+}
+
+TEST(Serialize, G2PointRoundTrip)
+{
+    std::mt19937_64 rng(4);
+    auto q = ec::Bn254G2::generator().mul(Fr::random(rng)).toAffine();
+    EXPECT_EQ(deserializePoint<ec::Bn254G2Cfg>(
+                  serializePoint<ec::Bn254G2Cfg>(q)),
+              q);
+}
+
+TEST(Serialize, PointRejectsOffCurve)
+{
+    std::mt19937_64 rng(5);
+    auto p = ec::Bn254G1::generator().toAffine();
+    // Corrupt the y coordinate.
+    auto s = serializeField(p.x) + "," +
+        serializeField(p.y + ff::Bn254Fq::one());
+    EXPECT_THROW(deserializePoint<ec::Bn254G1Cfg>(s),
+                 std::invalid_argument);
+}
+
+TEST(Serialize, ProofRoundTripStillVerifies)
+{
+    std::mt19937_64 rng(6);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+
+    auto text = serializeProof<Bn254Family>(proof);
+    EXPECT_LT(text.size(), 1024u); // succinctness: < 1 KB
+    auto back = deserializeProof<Bn254Family>(text);
+    EXPECT_EQ(back.a, proof.a);
+    EXPECT_EQ(back.b, proof.b);
+    EXPECT_EQ(back.c, proof.c);
+
+    std::vector<Fr> pub = {b.assignment()[1]};
+    EXPECT_TRUE(verifyBn254(keys.vk, back, pub));
+}
+
+TEST(Serialize, ProofRejectsWrongHeader)
+{
+    std::mt19937_64 rng(7);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    auto text = serializeProof<Bn254Family>(proof);
+    text[0] = 'x';
+    EXPECT_THROW(deserializeProof<Bn254Family>(text),
+                 std::invalid_argument);
+}
+
+TEST(Serialize, VerifyingKeyRoundTrip)
+{
+    std::mt19937_64 rng(8);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto text = serializeVerifyingKey<Bn254Family>(keys.vk);
+    auto vk = deserializeVerifyingKey<Bn254Family>(text);
+
+    ASSERT_EQ(vk.ic.size(), keys.vk.ic.size());
+    EXPECT_EQ(vk.alphaG1, keys.vk.alphaG1);
+    EXPECT_EQ(vk.betaG2, keys.vk.betaG2);
+    EXPECT_EQ(vk.gammaG2, keys.vk.gammaG2);
+    EXPECT_EQ(vk.deltaG2, keys.vk.deltaG2);
+
+    // The deserialized key verifies a fresh proof.
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    EXPECT_TRUE(verifyBn254(vk, proof, pub));
+}
+
+TEST(Serialize, VerifyingKeyRejectsTruncation)
+{
+    std::mt19937_64 rng(9);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto text = serializeVerifyingKey<Bn254Family>(keys.vk);
+    auto cut = text.substr(0, text.size() / 2);
+    EXPECT_THROW(deserializeVerifyingKey<Bn254Family>(cut),
+                 std::exception);
+}

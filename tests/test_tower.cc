@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension-tower (Fp2/Fp6/Fp12) algebra tests on the BN254
+ * instantiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/bn254_tower.hh"
+
+using namespace gzkp::ff;
+
+class TowerTest : public ::testing::Test
+{
+  protected:
+    std::mt19937_64 rng{31337};
+};
+
+TEST_F(TowerTest, Fp2FieldAxioms)
+{
+    for (int i = 0; i < 20; ++i) {
+        auto a = Bn254Fp2::random(rng);
+        auto b = Bn254Fp2::random(rng);
+        auto c = Bn254Fp2::random(rng);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        if (!a.isZero())
+            EXPECT_EQ(a * a.inverse(), Bn254Fp2::one());
+        EXPECT_EQ(a.squared(), a * a);
+    }
+}
+
+TEST_F(TowerTest, Fp2BasisMultiplication)
+{
+    // u * u = -1.
+    Bn254Fp2 u(Bn254Fq::zero(), Bn254Fq::one());
+    EXPECT_EQ(u * u, -Bn254Fp2::one());
+}
+
+TEST_F(TowerTest, Fp2Conjugate)
+{
+    auto a = Bn254Fp2::random(rng);
+    // a * conj(a) is in the base field (c1 == 0) and equals the norm.
+    auto n = a * a.conjugate();
+    EXPECT_TRUE(n.c1.isZero());
+    EXPECT_EQ(a.conjugate().conjugate(), a);
+}
+
+TEST_F(TowerTest, Fp6FieldAxioms)
+{
+    for (int i = 0; i < 10; ++i) {
+        auto a = Bn254Fp6::random(rng);
+        auto b = Bn254Fp6::random(rng);
+        auto c = Bn254Fp6::random(rng);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        if (!a.isZero())
+            EXPECT_EQ(a * a.inverse(), Bn254Fp6::one());
+    }
+}
+
+TEST_F(TowerTest, Fp6VCubeIsXi)
+{
+    Bn254Fp6 v(Bn254Fp2::zero(), Bn254Fp2::one(), Bn254Fp2::zero());
+    Bn254Fp6 xi(Bn254Fp6Cfg::xi(), Bn254Fp2::zero(), Bn254Fp2::zero());
+    EXPECT_EQ(v * v * v, xi);
+    // mulByV is multiplication by v.
+    auto a = Bn254Fp6::random(rng);
+    EXPECT_EQ(a.mulByV(), a * v);
+}
+
+TEST_F(TowerTest, Fp12FieldAxioms)
+{
+    for (int i = 0; i < 5; ++i) {
+        auto a = Bn254Fp12::random(rng);
+        auto b = Bn254Fp12::random(rng);
+        auto c = Bn254Fp12::random(rng);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        if (!a.isZero())
+            EXPECT_EQ(a * a.inverse(), Bn254Fp12::one());
+        EXPECT_EQ(a.squared(), a * a);
+    }
+}
+
+TEST_F(TowerTest, Fp12WSquareIsV)
+{
+    Bn254Fp6 v(Bn254Fp2::zero(), Bn254Fp2::one(), Bn254Fp2::zero());
+    Bn254Fp12 w(Bn254Fp6::zero(), Bn254Fp6::one());
+    EXPECT_EQ(w * w, Bn254Fp12(v, Bn254Fp6::zero()));
+}
+
+TEST_F(TowerTest, Fp12PowLaws)
+{
+    auto a = Bn254Fp12::random(rng);
+    auto e5 = a.pow(BigInt<1>::fromUint64(5));
+    EXPECT_EQ(e5, a * a * a * a * a);
+    EXPECT_EQ(a.pow(BigInt<1>::fromUint64(0)), Bn254Fp12::one());
+}
+
+TEST_F(TowerTest, Fp12ConjugateOnUnitCircle)
+{
+    // For f in the "cyclotomic" subgroup (after f^(p^6-1)), the
+    // conjugate is the inverse.
+    auto a = Bn254Fp12::random(rng);
+    auto g = a.conjugate() * a.inverse(); // g = f^(p^6 - 1) shape
+    EXPECT_EQ(g.conjugate(), g.inverse());
+}
+
+TEST_F(TowerTest, TowerLimbAccounting)
+{
+    EXPECT_EQ(Bn254Fp2::kLimbs, 8u); // 2 x 4 limbs
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * wNAF recoding and scalar-multiplication tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ec/curves.hh"
+#include "ec/wnaf.hh"
+#include "ff/natnum.hh"
+
+using namespace gzkp;
+using namespace gzkp::ec;
+using namespace gzkp::ff;
+
+TEST(Wnaf, RecodeReconstructsValue)
+{
+    std::mt19937_64 rng(1);
+    for (std::size_t w : {2u, 3u, 4u, 5u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            auto k = Bn254Fr::random(rng).toBigInt();
+            auto digits = wnafRecode(k, w);
+            // sum digits[i] * 2^i == k (checked via NatNum).
+            NatNum acc;
+            NatNum neg;
+            for (std::size_t i = 0; i < digits.size(); ++i) {
+                int d = digits[i];
+                if (d > 0)
+                    acc = acc + NatNum(std::uint64_t(d)).shl(i);
+                else if (d < 0)
+                    neg = neg + NatNum(std::uint64_t(-d)).shl(i);
+            }
+            EXPECT_EQ(acc - neg, NatNum::fromBigInt(k)) << "w=" << w;
+        }
+    }
+}
+
+TEST(Wnaf, DigitsAreOddAndBounded)
+{
+    std::mt19937_64 rng(2);
+    std::size_t w = 4;
+    auto k = Bls381Fr::random(rng).toBigInt();
+    auto digits = wnafRecode(k, w);
+    int bound = 1 << w;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        int d = digits[i];
+        if (d == 0)
+            continue;
+        EXPECT_NE(d % 2, 0);
+        EXPECT_LT(d, bound);
+        EXPECT_GT(d, -bound);
+        // Nonzero digits are separated by >= w zeros.
+        for (std::size_t j = 1; j <= w && i + j < digits.size(); ++j)
+            EXPECT_EQ(digits[i + j], 0) << "i=" << i << " j=" << j;
+    }
+}
+
+TEST(Wnaf, ZeroScalar)
+{
+    EXPECT_TRUE(wnafRecode(BigInt<4>::zero(), 4).empty());
+    auto p = Bn254G1::generator();
+    EXPECT_TRUE(wnafMul(p, BigInt<4>::zero()).isZero());
+}
+
+template <typename Cfg>
+class WnafMulTest : public ::testing::Test
+{
+};
+
+using WnafCurves =
+    ::testing::Types<Bn254G1Cfg, Bn254G2Cfg, Bls381G1Cfg, Mnt4753G1Cfg>;
+TYPED_TEST_SUITE(WnafMulTest, WnafCurves);
+
+TYPED_TEST(WnafMulTest, MatchesDoubleAndAdd)
+{
+    std::mt19937_64 rng(3);
+    using Pt = ECPoint<TypeParam>;
+    using Sc = typename TypeParam::Scalar;
+    auto p = Pt::generator();
+    for (std::size_t w : {2u, 4u, 6u}) {
+        for (int trial = 0; trial < 3; ++trial) {
+            auto k = Sc::random(rng).toBigInt();
+            EXPECT_EQ(wnafMul(p, k, w), p.mul(k)) << "w=" << w;
+        }
+        EXPECT_EQ(wnafMul(p, BigInt<1>::fromUint64(1).resize<
+                                  Sc::kLimbs>(), w), p);
+    }
+}
+
+TEST(Wnaf, SmallScalars)
+{
+    auto p = Bn254G1::generator();
+    for (std::uint64_t k : {1ull, 2ull, 3ull, 7ull, 255ull, 256ull}) {
+        EXPECT_EQ(wnafMul(p, BigInt<4>::fromUint64(k)),
+                  p.mul(k)) << "k=" << k;
+    }
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Workload-generator tests: gadget correctness, circuit
+ * satisfiability, sparsity profiles, and the paper's workload
+ * descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/field_tags.hh"
+#include "workload/workloads.hh"
+
+using namespace gzkp;
+using namespace gzkp::workload;
+using Fr = ff::Bn254Fr;
+
+TEST(Builder, MulGadget)
+{
+    Builder<Fr> b(0);
+    auto x = b.alloc(Fr::fromUint64(6));
+    auto y = b.alloc(Fr::fromUint64(7));
+    auto z = b.mul(x, y);
+    EXPECT_EQ(b.value(z), Fr::fromUint64(42));
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Builder, BooleanityCatchesNonBits)
+{
+    Builder<Fr> b(0);
+    auto bit = b.alloc(Fr::fromUint64(2)); // not a bit
+    b.assertBool(bit);
+    EXPECT_FALSE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Builder, DecomposeRoundTrip)
+{
+    Builder<Fr> b(0);
+    auto v = b.alloc(Fr::fromUint64(0b101101));
+    auto bits = b.decompose(v, 8);
+    ASSERT_EQ(bits.size(), 8u);
+    EXPECT_EQ(b.value(bits[0]), Fr::one());
+    EXPECT_EQ(b.value(bits[1]), Fr::zero());
+    EXPECT_EQ(b.value(bits[2]), Fr::one());
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Builder, CondSwap)
+{
+    Builder<Fr> b(0);
+    auto l = b.alloc(Fr::fromUint64(10));
+    auto r = b.alloc(Fr::fromUint64(20));
+    auto s0 = b.alloc(Fr::zero());
+    auto [a0, b0] = b.condSwap(s0, l, r);
+    EXPECT_EQ(b.value(a0), Fr::fromUint64(10));
+    EXPECT_EQ(b.value(b0), Fr::fromUint64(20));
+    auto s1 = b.alloc(Fr::one());
+    auto [a1, b1] = b.condSwap(s1, l, r);
+    EXPECT_EQ(b.value(a1), Fr::fromUint64(20));
+    EXPECT_EQ(b.value(b1), Fr::fromUint64(10));
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Builder, MimcIsDeterministicAndSatisfiable)
+{
+    Builder<Fr> b1(0), b2(0);
+    auto h1 = b1.mimcHash2(b1.alloc(Fr::fromUint64(1)),
+                           b1.alloc(Fr::fromUint64(2)));
+    auto h2 = b2.mimcHash2(b2.alloc(Fr::fromUint64(1)),
+                           b2.alloc(Fr::fromUint64(2)));
+    EXPECT_EQ(b1.value(h1), b2.value(h2));
+    EXPECT_TRUE(b1.cs().isSatisfied(b1.assignment()));
+    // Different inputs give different digests.
+    Builder<Fr> b3(0);
+    auto h3 = b3.mimcHash2(b3.alloc(Fr::fromUint64(3)),
+                           b3.alloc(Fr::fromUint64(2)));
+    EXPECT_NE(b1.value(h1), b3.value(h3));
+}
+
+TEST(Builder, AssertGreaterHolds)
+{
+    Builder<Fr> b(0);
+    auto hi = b.alloc(Fr::fromUint64(1000));
+    auto lo = b.alloc(Fr::fromUint64(999));
+    b.assertGreater(hi, lo, 32);
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Builder, AssertGreaterFailsWhenEqual)
+{
+    Builder<Fr> b(0);
+    auto hi = b.alloc(Fr::fromUint64(5));
+    auto lo = b.alloc(Fr::fromUint64(5));
+    b.assertGreater(hi, lo, 32); // a - b - 1 underflows the range
+    EXPECT_FALSE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Workloads, PaperWorkloadSizes)
+{
+    auto t2 = table2Workloads();
+    ASSERT_EQ(t2.size(), 6u);
+    EXPECT_EQ(t2[0].name, "AES");
+    EXPECT_EQ(t2[0].vectorSize, 16383u);
+    EXPECT_EQ(t2[5].name, "Auction");
+    EXPECT_EQ(t2[5].vectorSize, 557055u);
+    auto t3 = table3Workloads();
+    ASSERT_EQ(t3.size(), 3u);
+    EXPECT_EQ(t3[2].vectorSize, 2097151u);
+}
+
+TEST(Workloads, SparseScalarsFollowProfile)
+{
+    std::mt19937_64 rng(5);
+    auto p = zcashProfile();
+    auto v = sparseScalars<Fr>(20000, p, rng);
+    std::size_t zeros = 0, ones = 0;
+    for (auto &s : v) {
+        if (s.isZero())
+            ++zeros;
+        else if (s == Fr::one())
+            ++ones;
+    }
+    EXPECT_NEAR(double(zeros) / v.size(), p.zeroFrac, 0.02);
+    EXPECT_NEAR(double(ones) / v.size(), p.oneFrac, 0.02);
+}
+
+TEST(Workloads, DenseScalarsHaveNoStructure)
+{
+    std::mt19937_64 rng(6);
+    auto v = denseScalars<Fr>(2000, rng);
+    std::size_t trivial = 0;
+    for (auto &s : v)
+        if (s.isZero() || s == Fr::one())
+            ++trivial;
+    EXPECT_LE(trivial, 2u);
+}
+
+TEST(Workloads, SyntheticCircuitIsSatisfiableAndSized)
+{
+    std::mt19937_64 rng(7);
+    for (std::size_t target : {100u, 1000u}) {
+        auto b = makeSyntheticCircuit<Fr>(target, 0.4, rng);
+        EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+        EXPECT_NEAR(double(b.cs().numConstraints()), double(target),
+                    double(target) * 0.05 + 4);
+    }
+}
+
+TEST(Workloads, SyntheticCircuitWitnessIsSparse)
+{
+    std::mt19937_64 rng(8);
+    auto b = makeSyntheticCircuit<Fr>(2000, 0.6, rng);
+    std::size_t bits = 0;
+    for (const auto &v : b.assignment())
+        if (v.isZero() || v == Fr::one())
+            ++bits;
+    // Bound checks make a large fraction of the witness 0/1.
+    EXPECT_GT(double(bits) / b.assignment().size(), 0.3);
+}
+
+TEST(Workloads, MerkleCircuitVerifiesPath)
+{
+    std::mt19937_64 rng(9);
+    auto b = makeMerkleCircuit<Fr>(4, rng);
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+    // ~depth * (2 * kMimcRounds + small) constraints.
+    EXPECT_GT(b.cs().numConstraints(), 4 * 2 * kMimcRounds);
+}
+
+TEST(Workloads, MerkleCircuitRejectsWrongRoot)
+{
+    std::mt19937_64 rng(10);
+    auto b = makeMerkleCircuit<Fr>(3, rng);
+    auto z = b.assignment();
+    z[1] += Fr::one(); // tamper with the public root
+    EXPECT_FALSE(b.cs().isSatisfied(z));
+}
+
+TEST(Workloads, AuctionCircuitAcceptsHigherBid)
+{
+    std::mt19937_64 rng(11);
+    auto b = makeAuctionCircuit<Fr>(5000, 4000, rng);
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+}
+
+TEST(Workloads, AuctionCircuitRejectsLowBid)
+{
+    std::mt19937_64 rng(12);
+    // bid <= best: assertGreater's decomposition cannot be satisfied,
+    // and the builder records an out-of-range decomposition.
+    auto b = makeAuctionCircuit<Fr>(4000, 4000, rng);
+    EXPECT_FALSE(b.cs().isSatisfied(b.assignment()));
+}

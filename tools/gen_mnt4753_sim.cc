@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerate (or verify) the MNT4753-sim parameters.
+ *
+ * DESIGN.md substitutes the real MNT4-753 curve with a synthetic
+ * 753-bit configuration of the same shape:
+ *   - scalar field r = c * 2^30 + 1 (2-adicity exactly 30),
+ *   - base field q = 3 mod 4 (simple square roots for point
+ *     sampling),
+ *   - curve y^2 = x^3 + 2x + 5 over q with a sampled generator.
+ *
+ * Run without arguments to *verify* the shipped constants (fast);
+ * run with --search <seed> to search fresh primes (minutes).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "ec/curves.hh"
+#include "ff/field_tags.hh"
+#include "ff/primality.hh"
+
+using namespace gzkp::ff;
+
+namespace {
+
+bool
+verifyShipped()
+{
+    std::mt19937_64 rng(1);
+    bool ok = true;
+
+    NatNum r = NatNum::fromBigInt(Mnt4753Fr::modulus());
+    std::printf("r: %zu bits, 2-adicity %zu ... ", r.numBits(),
+                Mnt4753Fr::twoAdicity());
+    bool r_ok = r.numBits() == 753 && Mnt4753Fr::twoAdicity() == 30 &&
+        isProbablePrime(r, 32, rng);
+    std::printf("%s\n", r_ok ? "prime, shape ok" : "FAILED");
+    ok = ok && r_ok;
+
+    NatNum q = NatNum::fromBigInt(Mnt4753Fq::modulus());
+    std::printf("q: %zu bits, q %% 4 = %llu ... ", q.numBits(),
+                (unsigned long long)(q.limb(0) % 4));
+    bool q_ok = q.numBits() == 753 && (q.limb(0) % 4) == 3 &&
+        isProbablePrime(q, 32, rng);
+    std::printf("%s\n", q_ok ? "prime, shape ok" : "FAILED");
+    ok = ok && q_ok;
+
+    auto gen = gzkp::ec::Mnt4753G1::generatorAffine();
+    std::printf("generator on y^2 = x^3 + 2x + 5: %s\n",
+                gen.onCurve() ? "ok" : "FAILED");
+    ok = ok && gen.onCurve();
+    return ok;
+}
+
+void
+search(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::uint64_t> dist;
+
+    auto random_bits = [&](std::size_t bits) {
+        NatNum v;
+        for (std::size_t i = 0; i * 64 < bits; ++i)
+            v = v.shl(64) + NatNum(dist(rng));
+        return v.shr(v.numBits() > bits ? v.numBits() - bits : 0);
+    };
+
+    std::printf("searching r = c * 2^30 + 1 (753 bits)...\n");
+    for (;;) {
+        NatNum c = random_bits(723);
+        // Force the top and bottom bits so r has exactly 753 bits.
+        c = c + NatNum(1).shl(722) + NatNum(1 - (c.bit(0) ? 0 : 1) +
+                                            (c.bit(0) ? 0 : 1));
+        if (!c.bit(0))
+            c = c + NatNum(1);
+        NatNum r = c.shl(30) + NatNum(1);
+        if (r.numBits() == 753 && isProbablePrime(r, 24, rng)) {
+            std::printf("r = %s\n", r.toHex().c_str());
+            break;
+        }
+    }
+
+    std::printf("searching q = 3 mod 4 (753 bits)...\n");
+    for (;;) {
+        NatNum q = random_bits(753) + NatNum(1).shl(752);
+        // Force q = 3 mod 4.
+        std::uint64_t low = q.limb(0) & 3;
+        if (low != 3)
+            q = q + NatNum(3 - low);
+        if (q.numBits() == 753 && isProbablePrime(q, 24, rng)) {
+            std::printf("q = %s\n", q.toHex().c_str());
+            break;
+        }
+    }
+    std::printf("paste the new constants into "
+                "src/ff/field_tags.hh and re-run the test suite.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 3 && std::strcmp(argv[1], "--search") == 0) {
+        search(std::strtoull(argv[2], nullptr, 10));
+        return 0;
+    }
+    std::printf("verifying the shipped MNT4753-sim parameters "
+                "(use --search <seed> to generate fresh ones)\n");
+    return verifyShipped() ? 0 : 1;
+}
