@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_field_ops.dir/bench_field_ops.cc.o"
+  "CMakeFiles/bench_field_ops.dir/bench_field_ops.cc.o.d"
+  "bench_field_ops"
+  "bench_field_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_field_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

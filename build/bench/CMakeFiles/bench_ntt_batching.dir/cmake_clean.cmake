@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntt_batching.dir/bench_ntt_batching.cc.o"
+  "CMakeFiles/bench_ntt_batching.dir/bench_ntt_batching.cc.o.d"
+  "bench_ntt_batching"
+  "bench_ntt_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntt_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

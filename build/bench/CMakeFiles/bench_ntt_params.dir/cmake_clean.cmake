@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntt_params.dir/bench_ntt_params.cc.o"
+  "CMakeFiles/bench_ntt_params.dir/bench_ntt_params.cc.o.d"
+  "bench_ntt_params"
+  "bench_ntt_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntt_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

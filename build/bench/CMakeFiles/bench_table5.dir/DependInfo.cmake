@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5.cc" "bench/CMakeFiles/bench_table5.dir/bench_table5.cc.o" "gcc" "bench/CMakeFiles/bench_table5.dir/bench_table5.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zkp/CMakeFiles/gzkp_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msm/CMakeFiles/gzkp_msm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gzkp_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/gzkp_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/gzkp_ff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_profile.dir/bench_window_profile.cc.o"
+  "CMakeFiles/bench_window_profile.dir/bench_window_profile.cc.o.d"
+  "bench_window_profile"
+  "bench_window_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifiable_compute.dir/verifiable_compute.cpp.o"
+  "CMakeFiles/verifiable_compute.dir/verifiable_compute.cpp.o.d"
+  "verifiable_compute"
+  "verifiable_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifiable_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcash_transaction.dir/zcash_transaction.cpp.o"
+  "CMakeFiles/zcash_transaction.dir/zcash_transaction.cpp.o.d"
+  "zcash_transaction"
+  "zcash_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcash_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

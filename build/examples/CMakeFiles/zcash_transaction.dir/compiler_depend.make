@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zcash_transaction.
+# This may be replaced when dependencies are built.

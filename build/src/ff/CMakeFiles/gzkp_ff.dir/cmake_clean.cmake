@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gzkp_ff.dir/natnum.cc.o"
+  "CMakeFiles/gzkp_ff.dir/natnum.cc.o.d"
+  "CMakeFiles/gzkp_ff.dir/primality.cc.o"
+  "CMakeFiles/gzkp_ff.dir/primality.cc.o.d"
+  "libgzkp_ff.a"
+  "libgzkp_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gzkp_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gzkp_gpusim.dir/perf_model.cc.o"
+  "CMakeFiles/gzkp_gpusim.dir/perf_model.cc.o.d"
+  "libgzkp_gpusim.a"
+  "libgzkp_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gzkp_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

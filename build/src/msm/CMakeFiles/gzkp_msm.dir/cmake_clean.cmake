@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gzkp_msm.dir/msm_common.cc.o"
+  "CMakeFiles/gzkp_msm.dir/msm_common.cc.o.d"
+  "libgzkp_msm.a"
+  "libgzkp_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gzkp_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

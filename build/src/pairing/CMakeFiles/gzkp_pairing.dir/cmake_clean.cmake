@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gzkp_pairing.dir/bn254_pairing.cc.o"
+  "CMakeFiles/gzkp_pairing.dir/bn254_pairing.cc.o.d"
+  "libgzkp_pairing.a"
+  "libgzkp_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gzkp_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

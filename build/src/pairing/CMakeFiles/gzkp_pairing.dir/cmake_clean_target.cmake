@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgzkp_pairing.a"
+)

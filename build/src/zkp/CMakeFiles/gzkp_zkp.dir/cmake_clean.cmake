@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gzkp_zkp.dir/groth16_bn254.cc.o"
+  "CMakeFiles/gzkp_zkp.dir/groth16_bn254.cc.o.d"
+  "libgzkp_zkp.a"
+  "libgzkp_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gzkp_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gzkp_zkp.
+# This may be replaced when dependencies are built.

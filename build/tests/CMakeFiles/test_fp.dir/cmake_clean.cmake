@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp.dir/test_fp.cc.o"
+  "CMakeFiles/test_fp.dir/test_fp.cc.o.d"
+  "test_fp"
+  "test_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

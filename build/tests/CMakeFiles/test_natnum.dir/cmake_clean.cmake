@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_natnum.dir/test_natnum.cc.o"
+  "CMakeFiles/test_natnum.dir/test_natnum.cc.o.d"
+  "test_natnum"
+  "test_natnum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_natnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

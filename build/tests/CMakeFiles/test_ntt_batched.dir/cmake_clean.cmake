@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_batched.dir/test_ntt_batched.cc.o"
+  "CMakeFiles/test_ntt_batched.dir/test_ntt_batched.cc.o.d"
+  "test_ntt_batched"
+  "test_ntt_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

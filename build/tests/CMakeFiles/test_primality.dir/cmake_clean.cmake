@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primality.dir/test_primality.cc.o"
+  "CMakeFiles/test_primality.dir/test_primality.cc.o.d"
+  "test_primality"
+  "test_primality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_primality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tower.dir/test_tower.cc.o"
+  "CMakeFiles/test_tower.dir/test_tower.cc.o.d"
+  "test_tower"
+  "test_tower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

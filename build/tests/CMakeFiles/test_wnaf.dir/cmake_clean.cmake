@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wnaf.dir/test_wnaf.cc.o"
+  "CMakeFiles/test_wnaf.dir/test_wnaf.cc.o.d"
+  "test_wnaf"
+  "test_wnaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wnaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_mnt4753_sim.dir/gen_mnt4753_sim.cc.o"
+  "CMakeFiles/gen_mnt4753_sim.dir/gen_mnt4753_sim.cc.o.d"
+  "gen_mnt4753_sim"
+  "gen_mnt4753_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_mnt4753_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gen_mnt4753_sim.
+# This may be replaced when dependencies are built.
