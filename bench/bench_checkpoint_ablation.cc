@@ -34,20 +34,15 @@ main(int argc, char **argv)
 {
     bool full = fullRun(argc, argv);
     auto dev = gpusim::DeviceConfig::v100();
-    std::mt19937_64 rng(9);
 
     header("Checkpoint-interval ablation (Algorithm 1), BLS12-381");
 
     // Functional agreement of the two modes at a small scale.
     {
         std::size_t n = full ? 256 : 64;
-        std::vector<ec::AffinePoint<Cfg>> pts;
-        std::vector<Fr> scs;
-        auto g = ec::Bls381G1::generator();
-        for (std::size_t i = 0; i < n; ++i) {
-            pts.push_back(g.mul(Fr::random(rng)).toAffine());
-            scs.push_back(Fr::random(rng));
-        }
+        auto in = bench::msmInstance<Cfg>(n, 9);
+        const auto &pts = in.points;
+        const auto &scs = in.scalars;
         GzkpMsm<Cfg>::Options a, b;
         a.k = b.k = 8;
         a.checkpointM = b.checkpointM = 4;

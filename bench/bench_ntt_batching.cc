@@ -33,13 +33,10 @@ main()
     // Functional sweep: every transform of the batch must equal the
     // reference NTT of its own input.
     {
-        std::mt19937_64 rng(3);
         Domain<Fr> dom(9);
         std::vector<std::vector<Fr>> batch(8), expect(8);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-            batch[i].resize(dom.size());
-            for (auto &x : batch[i])
-                x = Fr::random(rng);
+            batch[i] = bench::scalarVector<Fr>(dom.size(), 3 + i);
             expect[i] = batch[i];
             nttInPlace(dom, expect[i]);
         }

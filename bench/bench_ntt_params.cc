@@ -37,11 +37,8 @@ main()
 
     // Functional check of a representative sweep.
     {
-        std::mt19937_64 rng(1);
         Domain<Fr> dom(10);
-        std::vector<Fr> v(dom.size());
-        for (auto &x : v)
-            x = Fr::random(rng);
+        auto v = bench::scalarVector<Fr>(dom.size(), 1);
         auto expect = v;
         nttInPlace(dom, expect);
         bool all_ok = true;

@@ -52,11 +52,8 @@ template <typename Fr>
 double
 functionalGzkpSeconds(std::size_t logn)
 {
-    std::mt19937_64 rng(logn);
     Domain<Fr> dom(logn);
-    std::vector<Fr> v(dom.size());
-    for (auto &x : v)
-        x = Fr::random(rng);
+    auto v = bench::scalarVector<Fr>(dom.size(), logn);
     auto expect = v;
     nttInPlace(dom, expect);
     GzkpNtt<Fr> gz;

@@ -48,16 +48,9 @@ template <typename Cfg>
 bool
 functionalCheck(std::size_t n)
 {
-    using Pt = ec::ECPoint<Cfg>;
-    using Sc = typename Cfg::Scalar;
-    std::mt19937_64 rng(33);
-    std::vector<ec::AffinePoint<Cfg>> pts;
-    std::vector<Sc> scs;
-    auto g = Pt::generator();
-    for (std::size_t i = 0; i < n; ++i) {
-        pts.push_back(g.mul(Sc::random(rng)).toAffine());
-        scs.push_back(Sc::random(rng));
-    }
+    auto in = bench::msmInstance<Cfg>(n, 33);
+    const auto &pts = in.points;
+    const auto &scs = in.scalars;
     auto expect = msmNaive<Cfg>(pts, scs);
     typename GzkpMsm<Cfg>::Options o;
     o.k = 8;

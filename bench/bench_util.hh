@@ -17,7 +17,33 @@
 #include <cstring>
 #include <string>
 
+#include "testkit/generators.hh"
+
 namespace gzkp::bench {
+
+/**
+ * Bench instance generation delegates to the shared testkit
+ * generators (src/testkit/generators.hh) so benches, tests, and the
+ * fuzz driver all draw from the same seed-deterministic
+ * distributions instead of per-file rng loops.
+ */
+template <typename Cfg>
+testkit::MsmInstance<Cfg>
+msmInstance(std::size_t n, std::uint64_t seed,
+            testkit::ScalarMix kind = testkit::ScalarMix::Dense)
+{
+    return testkit::msmInstance<Cfg>(n, kind, seed);
+}
+
+/** Dense random field vector for NTT benches, via the testkit. */
+template <typename Fr>
+std::vector<Fr>
+scalarVector(std::size_t n, std::uint64_t seed,
+             testkit::ScalarMix kind = testkit::ScalarMix::Dense)
+{
+    testkit::Rng rng(seed);
+    return testkit::scalarVector<Fr>(n, kind, rng);
+}
 
 /** Wall-clock timer for functional (host-executed) sections. */
 class Timer

@@ -2,10 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 #include "ff/fpu_backend.hh"
 
 namespace gzkp::gpusim {
+
+namespace {
+bool g_strict_invariants = false;
+} // namespace
+
+void
+setStrictInvariants(bool enabled)
+{
+    g_strict_invariants = enabled;
+}
+
+bool
+strictInvariants()
+{
+    return g_strict_invariants;
+}
+
+std::vector<std::string>
+invariantViolations(const KernelStats &s, const DeviceConfig &dev)
+{
+    std::vector<std::string> out;
+    auto fail = [&out](const auto &...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        out.push_back(os.str());
+    };
+
+    std::uint64_t line_cap =
+        std::uint64_t(dev.l2LineBytes) * s.linesTouched;
+    if (s.usefulBytes > line_cap) {
+        fail("usefulBytes (", s.usefulBytes, ") exceeds l2LineBytes * ",
+             "linesTouched (", line_cap, ")");
+    }
+    if (s.usefulBytes > 0 && s.linesTouched == 0)
+        fail("usefulBytes > 0 with no lines touched");
+    if (!(s.loadImbalanceFactor >= 1.0))
+        fail("loadImbalanceFactor (", s.loadImbalanceFactor, ") < 1");
+    if (!(s.idleLaneFactor > 0.0 && s.idleLaneFactor <= 1.0))
+        fail("idleLaneFactor (", s.idleLaneFactor, ") outside (0, 1]");
+    if (!(s.libGainFactor >= 0.0 && s.libGainFactor <= 1.0))
+        fail("libGainFactor (", s.libGainFactor, ") outside [0, 1]");
+    if (!(s.fieldMuls >= 0.0))
+        fail("fieldMuls (", s.fieldMuls, ") negative");
+    if (!(s.fieldAdds >= 0.0))
+        fail("fieldAdds (", s.fieldAdds, ") negative");
+    if (s.limbs == 0)
+        fail("limbs == 0");
+    if (!(s.hostSeconds >= 0.0))
+        fail("hostSeconds (", s.hostSeconds, ") negative");
+    if (!(s.pcieBytes >= 0.0))
+        fail("pcieBytes (", s.pcieBytes, ") negative");
+    return out;
+}
 
 double
 fpuSpeedupOnDevice(const DeviceConfig &dev, std::size_t limbs)
@@ -59,6 +114,11 @@ modelMemorySeconds(const KernelStats &s, const DeviceConfig &dev)
 double
 modelSeconds(const KernelStats &s, const DeviceConfig &dev, Backend backend)
 {
+    if (g_strict_invariants) {
+        auto bad = invariantViolations(s, dev);
+        if (!bad.empty())
+            throw std::logic_error("KernelStats invariant: " + bad[0]);
+    }
     double compute = modelComputeSeconds(s, dev, backend);
     double memory = modelMemorySeconds(s, dev);
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gpusim/device.hh"
 #include "gpusim/memtrace.hh"
@@ -119,6 +120,31 @@ double fpuSpeedupOnDevice(const DeviceConfig &dev, std::size_t limbs);
  * Single calibration constant; see EXPERIMENTS.md for derivation.
  */
 inline constexpr double kIssueEfficiency = 0.25;
+
+/**
+ * Accounting invariants every kernel report must satisfy, checked so
+ * the perf model is a verified contract rather than trusted output:
+ *
+ *  - usefulBytes <= l2LineBytes * linesTouched (a line moves at most
+ *    one line's worth of useful data);
+ *  - loadImbalanceFactor >= 1 (max/mean by construction);
+ *  - idleLaneFactor in (0, 1] (fraction of useful warp lanes);
+ *  - libGainFactor in [0, 1]; op counts and limb width non-negative;
+ *  - usefulBytes > 0 implies linesTouched > 0.
+ *
+ * Returns a human-readable description of every violated invariant
+ * (empty = consistent).
+ */
+std::vector<std::string> invariantViolations(const KernelStats &s,
+                                             const DeviceConfig &dev);
+
+/**
+ * When enabled, modelSeconds() throws std::logic_error on any
+ * invariant violation instead of silently producing a time. Off by
+ * default; the fuzz driver and differential tests switch it on.
+ */
+void setStrictInvariants(bool enabled);
+bool strictInvariants();
 
 /** Convert kernel statistics to modeled seconds on a device. */
 double modelSeconds(const KernelStats &s, const DeviceConfig &dev,

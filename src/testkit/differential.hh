@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Generic differential runner.
+ *
+ * A Differential<In, Out> holds one oracle (the trusted reference
+ * implementation) and any number of registered variants. run()
+ * executes every implementation on the same input and reports the
+ * first divergence -- a variant whose output differs from the
+ * oracle's, or one that throws. Cross-implementation agreement is
+ * the only practical correctness oracle for accelerated provers, so
+ * this runner is the core of the testkit: MSM variants vs the naive
+ * PMUL sum, NTT variants vs the canonical radix-2 flow, and so on.
+ *
+ * To add a new implementation to a differential registry, call
+ * add(name, fn) with any callable In -> Out; nothing else changes.
+ */
+
+#ifndef GZKP_TESTKIT_DIFFERENTIAL_HH
+#define GZKP_TESTKIT_DIFFERENTIAL_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gzkp::testkit {
+
+/** First divergence found by a differential run. */
+struct Divergence {
+    std::string variant; //!< name of the disagreeing implementation
+    std::string detail;  //!< "mismatch" or the thrown exception text
+};
+
+template <typename In, typename Out>
+class Differential
+{
+  public:
+    using Fn = std::function<Out(const In &)>;
+
+    Differential(std::string oracle_name, Fn oracle)
+        : oracleName_(std::move(oracle_name)), oracle_(std::move(oracle))
+    {}
+
+    Differential &
+    add(std::string name, Fn fn)
+    {
+        variants_.push_back({std::move(name), std::move(fn)});
+        return *this;
+    }
+
+    const std::string &oracleName() const { return oracleName_; }
+
+    std::vector<std::string>
+    variantNames() const
+    {
+        std::vector<std::string> out;
+        for (const auto &v : variants_)
+            out.push_back(v.name);
+        return out;
+    }
+
+    /**
+     * Run oracle + all variants on `input`; nullopt means everyone
+     * agreed. An exception in the oracle itself propagates (a broken
+     * oracle is a harness bug, not a divergence).
+     */
+    std::optional<Divergence>
+    run(const In &input) const
+    {
+        Out expect = oracle_(input);
+        for (const auto &v : variants_) {
+            try {
+                if (!(v.fn(input) == expect))
+                    return Divergence{v.name, "mismatch vs " +
+                                                  oracleName_};
+            } catch (const std::exception &e) {
+                return Divergence{v.name,
+                                  std::string("exception: ") + e.what()};
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    struct Variant {
+        std::string name;
+        Fn fn;
+    };
+
+    std::string oracleName_;
+    Fn oracle_;
+    std::vector<Variant> variants_;
+};
+
+} // namespace gzkp::testkit
+
+#endif // GZKP_TESTKIT_DIFFERENTIAL_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Seed-deterministic instance generators.
+ *
+ * ZKP kernel bugs cluster in sparse and degenerate scalar regimes
+ * that uniform sampling rarely hits (bucket 0/1 handling, identity
+ * points, reduction boundaries), so every generator here is biased
+ * toward those regimes on purpose:
+ *
+ *  - field elements: 0, 1, r-1, small, low-Hamming-weight,
+ *    Montgomery/reduction boundary (p-1, p-2, standard-form R mod p),
+ *    plus uniform random;
+ *  - curve points: identity, the generator, small generator
+ *    multiples, duplicates, random;
+ *  - scalar vectors: dense / sparse / adversarial / low-Hamming /
+ *    boundary mixes (ScalarMix);
+ *  - MSM instances and small satisfiable R1CS circuits.
+ *
+ * All generators are pure functions of their seed; the same
+ * (seed, size, kind) triple always rebuilds the same instance.
+ * These are the shared generators used by tests, the fuzz driver,
+ * and the benches (formerly ad-hoc per-file `makeInstance` helpers).
+ */
+
+#ifndef GZKP_TESTKIT_GENERATORS_HH
+#define GZKP_TESTKIT_GENERATORS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ec/point.hh"
+#include "testkit/rng.hh"
+#include "workload/workloads.hh"
+
+namespace gzkp::testkit {
+
+/** Field element drawn from the boundary-biased distribution. */
+template <typename Fr, typename RngT>
+Fr
+biasedField(RngT &rng)
+{
+    using Repr = typename Fr::Repr;
+    switch (rng() % 10) {
+      case 0:
+        return Fr::zero();
+      case 1:
+        return Fr::one();
+      case 2:
+        return -Fr::one(); // r - 1, the reduction boundary
+      case 3:
+        return Fr::fromUint64(2 + rng() % 14); // small values
+      case 4: {
+        // Low Hamming weight: 1-3 set bits. Scalars like these give
+        // near-empty bucket histograms (most window digits zero).
+        Repr v = Repr::zero();
+        std::size_t nbits = 1 + rng() % 3;
+        for (std::size_t b = 0; b < nbits; ++b) {
+            std::size_t pos = rng() % (Fr::bits() - 1);
+            v.limbs[pos / 64] |= std::uint64_t(1) << (pos % 64);
+        }
+        if (!(v < Fr::modulus()))
+            return Fr::one();
+        return Fr::fromBigInt(v);
+      }
+      case 5: {
+        // Montgomery boundary: standard form R mod p, whose
+        // Montgomery representation is R^2 mod p (maximal carries in
+        // the CIOS reduction), or p-2.
+        if (rng() % 2)
+            return Fr::fromBigInt(Fr::params().r1);
+        return -Fr::one() - Fr::one(); // p - 2
+      }
+      default:
+        return Fr::random(rng);
+    }
+}
+
+/** Scalar-vector mixes; names appear in repro lines (--kind=K). */
+enum class ScalarMix {
+    Dense = 0,       //!< uniform random
+    Sparse01 = 1,    //!< heavy 0/1 mass (real witness profile)
+    Adversarial = 2, //!< 0, 1, r-1, tiny values, duplicate points
+    LowHamming = 3,  //!< few set bits per scalar
+    Boundary = 4,    //!< reduction/Montgomery boundary values
+};
+
+inline constexpr std::size_t kScalarMixCount = 5;
+
+inline const char *
+name(ScalarMix k)
+{
+    switch (k) {
+      case ScalarMix::Dense: return "dense";
+      case ScalarMix::Sparse01: return "sparse01";
+      case ScalarMix::Adversarial: return "adversarial";
+      case ScalarMix::LowHamming: return "lowhamming";
+      case ScalarMix::Boundary: return "boundary";
+    }
+    return "?";
+}
+
+inline ScalarMix
+scalarMixFromName(const std::string &s)
+{
+    for (std::size_t i = 0; i < kScalarMixCount; ++i) {
+        if (s == name(ScalarMix(i)))
+            return ScalarMix(i);
+    }
+    throw std::invalid_argument("unknown scalar mix: " + s);
+}
+
+/** Generate n scalars of the requested mix. */
+template <typename Fr, typename RngT>
+std::vector<Fr>
+scalarVector(std::size_t n, ScalarMix kind, RngT &rng)
+{
+    std::vector<Fr> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (kind) {
+          case ScalarMix::Dense:
+            out.push_back(Fr::random(rng));
+            break;
+          case ScalarMix::Sparse01:
+            switch (rng() % 3) {
+              case 0: out.push_back(Fr::zero()); break;
+              case 1: out.push_back(Fr::one()); break;
+              default: out.push_back(Fr::random(rng));
+            }
+            break;
+          case ScalarMix::Adversarial:
+            out.push_back(biasedField<Fr>(rng));
+            break;
+          case ScalarMix::LowHamming: {
+            using Repr = typename Fr::Repr;
+            Repr v = Repr::zero();
+            std::size_t nbits = 1 + rng() % 4;
+            for (std::size_t b = 0; b < nbits; ++b) {
+                std::size_t pos = rng() % (Fr::bits() - 1);
+                v.limbs[pos / 64] |= std::uint64_t(1) << (pos % 64);
+            }
+            out.push_back(v < Fr::modulus() ? Fr::fromBigInt(v)
+                                            : Fr::one());
+            break;
+          }
+          case ScalarMix::Boundary:
+            switch (rng() % 4) {
+              case 0: out.push_back(-Fr::one()); break;
+              case 1: out.push_back(Fr::zero()); break;
+              case 2:
+                out.push_back(Fr::fromBigInt(Fr::params().r1));
+                break;
+              default: out.push_back(Fr::random(rng)); break;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/**
+ * Generate n affine points: mostly random generator multiples, with
+ * occasional identity points and duplicates (both are classic MSM
+ * bucket-merge hazards).
+ */
+template <typename Cfg, typename RngT>
+std::vector<ec::AffinePoint<Cfg>>
+pointVector(std::size_t n, RngT &rng, bool allow_identity = true)
+{
+    using Point = ec::ECPoint<Cfg>;
+    using Scalar = typename Cfg::Scalar;
+    std::vector<ec::AffinePoint<Cfg>> out;
+    out.reserve(n);
+    auto g = Point::generator();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t c = rng() % 16;
+        if (allow_identity && c == 0) {
+            out.push_back(ec::AffinePoint<Cfg>::identity());
+        } else if (c == 1) {
+            out.push_back(g.toAffine());
+        } else if (c == 2) {
+            out.push_back(g.mul(1 + rng() % 7).toAffine());
+        } else if (c == 3 && i > 0) {
+            out.push_back(out[i - 1]); // duplicate
+        } else {
+            out.push_back(g.mul(Scalar::random(rng)).toAffine());
+        }
+    }
+    return out;
+}
+
+/** One MSM problem instance. */
+template <typename Cfg>
+struct MsmInstance {
+    std::vector<ec::AffinePoint<Cfg>> points;
+    std::vector<typename Cfg::Scalar> scalars;
+
+    std::size_t size() const { return points.size(); }
+};
+
+/**
+ * Build an MSM instance from (size, kind, seed). Dense and Sparse01
+ * use plain random points (matching the historical unit-test
+ * generator); the other mixes add identity/duplicate points.
+ */
+template <typename Cfg>
+MsmInstance<Cfg>
+msmInstance(std::size_t n, ScalarMix kind, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MsmInstance<Cfg> in;
+    bool hostile_points = kind != ScalarMix::Dense &&
+        kind != ScalarMix::Sparse01;
+    in.points = pointVector<Cfg>(n, rng, hostile_points);
+    in.scalars =
+        scalarVector<typename Cfg::Scalar>(n, kind, rng);
+    return in;
+}
+
+/**
+ * A small random satisfiable circuit (~`constraints` constraints,
+ * mixed booleanity/multiplication structure) with its assignment.
+ */
+template <typename Fr>
+workload::Builder<Fr>
+randomCircuit(std::uint64_t seed, std::size_t constraints = 24)
+{
+    Rng rng(seed);
+    double bool_frac = double(rng() % 70) / 100.0;
+    return workload::makeSyntheticCircuit<Fr>(constraints, bool_frac,
+                                              rng);
+}
+
+} // namespace gzkp::testkit
+
+#endif // GZKP_TESTKIT_GENERATORS_HH

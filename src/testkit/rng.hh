@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic randomness for the testkit.
+ *
+ * Every generated instance is a pure function of a 64-bit seed, so
+ * any failure replays from the command line (`--seed=S --size=N
+ * --kind=K`). Sub-streams are derived with SplitMix64 so that
+ * changing how one fuzz target consumes randomness never perturbs
+ * the instances another target sees.
+ */
+
+#ifndef GZKP_TESTKIT_RNG_HH
+#define GZKP_TESTKIT_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace gzkp::testkit {
+
+/** The testkit's RNG type; deterministic given its seed. */
+using Rng = std::mt19937_64;
+
+/** SplitMix64 finalizer: a cheap, well-mixed 64 -> 64 hash. */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive an independent sub-seed for stream `stream` of iteration
+ * `iter` under master seed `seed`.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t iter, std::uint64_t stream = 0)
+{
+    return splitmix64(seed ^ splitmix64(iter ^ splitmix64(stream)));
+}
+
+} // namespace gzkp::testkit
+
+#endif // GZKP_TESTKIT_RNG_HH

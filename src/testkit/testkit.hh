@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Umbrella header for the testkit: seed-deterministic generators,
+ * the generic differential runner, greedy shrinkers, and the bounded
+ * fuzz loop. See DESIGN.md "Testing strategy" for the oracle
+ * hierarchy and the seed-replay workflow.
+ */
+
+#ifndef GZKP_TESTKIT_TESTKIT_HH
+#define GZKP_TESTKIT_TESTKIT_HH
+
+#include "testkit/differential.hh"
+#include "testkit/fuzz.hh"
+#include "testkit/generators.hh"
+#include "testkit/rng.hh"
+#include "testkit/shrink.hh"
+
+#endif // GZKP_TESTKIT_TESTKIT_HH

@@ -54,8 +54,14 @@ deserializeField(const std::string &s)
 {
     if (s.size() != FpT::kLimbs * 16)
         throw std::invalid_argument("deserializeField: bad length");
-    return FpT::fromBigInt(
-        ff::BigInt<FpT::kLimbs>::fromHex(s));
+    auto v = ff::BigInt<FpT::kLimbs>::fromHex(s);
+    // fromBigInt only assert()s canonicality; a deserializer must
+    // reject non-canonical encodings (value >= p) in release builds
+    // too, or two byte strings could decode to the same element.
+    if (!(v < FpT::modulus()))
+        throw std::invalid_argument(
+            "deserializeField: non-canonical encoding (>= modulus)");
+    return FpT::fromBigInt(v);
 }
 
 /** Serialize an Fp2 element as "c0.c1". */

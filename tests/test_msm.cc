@@ -16,6 +16,8 @@
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
 #include "msm/msm_straus.hh"
+#include "testkit/fuzz.hh"
+#include "testkit/generators.hh"
 
 using namespace gzkp;
 using namespace gzkp::ec;
@@ -27,48 +29,26 @@ using Pt = Bn254G1;
 
 namespace {
 
-struct Instance {
-    std::vector<Bn254G1Affine> points;
-    std::vector<Fr> scalars;
-};
-
-enum class ScalarKind { Dense, Sparse01, Adversarial };
+// Instances come from the shared testkit generators (the historical
+// per-file makeInstance helper moved to src/testkit/generators.hh).
+using Instance = testkit::MsmInstance<Cfg>;
 
 Instance
-makeInstance(std::size_t n, ScalarKind kind, std::uint64_t seed)
+makeInstance(std::size_t n, testkit::ScalarMix kind,
+             std::uint64_t seed)
 {
-    std::mt19937_64 rng(seed);
-    Instance in;
-    auto g = Pt::generator();
-    for (std::size_t i = 0; i < n; ++i) {
-        in.points.push_back(g.mul(Fr::random(rng)).toAffine());
-        switch (kind) {
-          case ScalarKind::Dense:
-            in.scalars.push_back(Fr::random(rng));
-            break;
-          case ScalarKind::Sparse01:
-            switch (rng() % 3) {
-              case 0: in.scalars.push_back(Fr::zero()); break;
-              case 1: in.scalars.push_back(Fr::one()); break;
-              default: in.scalars.push_back(Fr::random(rng));
-            }
-            break;
-          case ScalarKind::Adversarial:
-            switch (rng() % 4) {
-              case 0: in.scalars.push_back(-Fr::one()); break;   // r-1
-              case 1: in.scalars.push_back(Fr::zero()); break;
-              case 2: in.scalars.push_back(Fr::fromUint64(1) +
-                                           Fr::fromUint64(rng() % 3));
-                      break;
-              default: in.scalars.push_back(Fr::random(rng));
-            }
-            // Duplicate points stress bucket merging.
-            if (i > 0 && (rng() % 4) == 0)
-                in.points[i] = in.points[i - 1];
-            break;
-        }
-    }
-    return in;
+    return testkit::msmInstance<Cfg>(n, kind, seed);
+}
+
+/** Expect the whole differential registry to agree on `in`. */
+void
+expectAllVariantsAgree(const Instance &in, const char *what)
+{
+    static const auto d = testkit::msmDifferential();
+    auto div = d.run(in);
+    EXPECT_FALSE(div.has_value())
+        << what << ": " << (div ? div->variant + " " + div->detail
+                                : std::string());
 }
 
 } // namespace
@@ -81,7 +61,8 @@ class MsmVariantTest
     instance() const
     {
         auto [n, kind] = GetParam();
-        return makeInstance(n, ScalarKind(kind), 17 * n + kind);
+        return makeInstance(n, testkit::ScalarMix(kind),
+                            17 * n + kind);
     }
 };
 
@@ -136,29 +117,87 @@ TEST_P(MsmVariantTest, GzkpPerPointMatchesNaive)
 INSTANTIATE_TEST_SUITE_P(
     SizesAndKinds, MsmVariantTest,
     ::testing::Combine(::testing::Values(1, 2, 31, 100),
-                       ::testing::Values(0, 1, 2)));
+                       ::testing::Values(0, 1, 2, 3, 4)));
 
-TEST(Msm, AllZeroScalars)
+// Edge cases, swept across *every* registered variant via the
+// differential registry (testkit::msmDifferential).
+
+TEST(MsmEdge, EmptyInput)
 {
-    auto in = makeInstance(20, ScalarKind::Dense, 7);
+    Instance in; // n = 0
+    EXPECT_TRUE(msmNaive<Cfg>(in.points, in.scalars).isZero());
+    expectAllVariantsAgree(in, "n=0");
+}
+
+TEST(MsmEdge, SingleElement)
+{
+    for (const Fr &s : {Fr::zero(), Fr::one(), -Fr::one(),
+                        Fr::fromBigInt(Fr::params().r1)}) {
+        Instance in;
+        in.points = {Pt::generator().mul(7).toAffine()};
+        in.scalars = {s};
+        EXPECT_EQ(msmNaive<Cfg>(in.points, in.scalars),
+                  Pt::fromAffine(in.points[0]).mul(s));
+        expectAllVariantsAgree(in, "n=1");
+    }
+}
+
+TEST(MsmEdge, AllZeroScalars)
+{
+    auto in = makeInstance(20, testkit::ScalarMix::Dense, 7);
     for (auto &s : in.scalars)
         s = Fr::zero();
     EXPECT_TRUE(GzkpMsm<Cfg>().run(in.points, in.scalars).isZero());
     EXPECT_TRUE(PippengerSerial<Cfg>().run(in.points, in.scalars)
                     .isZero());
+    expectAllVariantsAgree(in, "all-zero scalars");
+}
+
+TEST(MsmEdge, AllIdenticalPoints)
+{
+    auto in = makeInstance(24, testkit::ScalarMix::Dense, 13);
+    auto p = Pt::generator().mul(11).toAffine();
+    for (auto &pt : in.points)
+        pt = p;
+    // sum(s_i * P) == (sum s_i) * P
+    Fr total = Fr::zero();
+    for (const auto &s : in.scalars)
+        total += s;
+    EXPECT_EQ(msmNaive<Cfg>(in.points, in.scalars),
+              Pt::fromAffine(p).mul(total));
+    expectAllVariantsAgree(in, "all-identical points");
+}
+
+TEST(MsmEdge, BoundaryScalars)
+{
+    // All scalars r-1 == -1: the MSM is -(sum of points). Every
+    // window digit is maximal, stressing carry/merge paths.
+    auto in = makeInstance(16, testkit::ScalarMix::Dense, 19);
+    for (auto &s : in.scalars)
+        s = -Fr::one();
+    Pt sum = Pt::identity();
+    for (const auto &p : in.points)
+        sum += Pt::fromAffine(p);
+    EXPECT_EQ(msmNaive<Cfg>(in.points, in.scalars), sum.negate());
+    expectAllVariantsAgree(in, "all r-1 scalars");
+
+    // Scalars equal to R mod r (the Montgomery radix, reduced).
+    for (auto &s : in.scalars)
+        s = Fr::fromBigInt(Fr::params().r1);
+    expectAllVariantsAgree(in, "reduced-radix scalars");
 }
 
 TEST(Msm, PreprocessedReuseAcrossScalarVectors)
 {
     // The proving key is fixed; preprocess once, run many (S4.1).
-    auto in = makeInstance(40, ScalarKind::Dense, 8);
+    auto in = makeInstance(40, testkit::ScalarMix::Dense, 8);
     GzkpMsm<Cfg>::Options o;
     o.k = 8;
     o.checkpointM = 2;
     GzkpMsm<Cfg> engine(o);
     auto pre = engine.preprocess(in.points);
     for (int round = 0; round < 3; ++round) {
-        auto in2 = makeInstance(40, ScalarKind::Sparse01, 90 + round);
+        auto in2 = makeInstance(40, testkit::ScalarMix::Sparse01, 90 + round);
         in2.points = in.points;
         EXPECT_EQ(engine.run(pre, in2.scalars),
                   msmNaive<Cfg>(in2.points, in2.scalars));
@@ -167,7 +206,7 @@ TEST(Msm, PreprocessedReuseAcrossScalarVectors)
 
 TEST(Msm, PreprocessedPointsAreWeighted)
 {
-    auto in = makeInstance(5, ScalarKind::Dense, 9);
+    auto in = makeInstance(5, testkit::ScalarMix::Dense, 9);
     GzkpMsm<Cfg>::Options o;
     o.k = 8;
     o.checkpointM = 3;

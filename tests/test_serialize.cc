@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <random>
 
 #include "workload/builder.hh"
@@ -50,6 +51,26 @@ TEST(Serialize, FieldRejectsBadInput)
     EXPECT_THROW(deserializeField<Fr>("abcd"), std::invalid_argument);
     EXPECT_THROW(deserializeField<Fr>(std::string(64, 'z')),
                  std::invalid_argument);
+}
+
+TEST(Serialize, FieldRejectsNonCanonicalEncoding)
+{
+    // Encodings of p, p+1, and 2^256-1 all name values >= r and must
+    // be rejected: otherwise two distinct byte strings would decode
+    // to the same field element.
+    auto p = Fr::modulus();
+    EXPECT_THROW(deserializeField<Fr>(detail::hexFixed(p)),
+                 std::invalid_argument);
+    auto p1 = p;
+    Fr::Repr one_r = Fr::Repr::one();
+    Fr::Repr::add(p, one_r, p1);
+    EXPECT_THROW(deserializeField<Fr>(detail::hexFixed(p1)),
+                 std::invalid_argument);
+    EXPECT_THROW(deserializeField<Fr>(std::string(64, 'f')),
+                 std::invalid_argument);
+    // The boundary case r-1 is canonical and must still decode.
+    EXPECT_EQ(deserializeField<Fr>(serializeField(-Fr::one())),
+              -Fr::one());
 }
 
 TEST(Serialize, Fp2RoundTrip)
@@ -119,6 +140,53 @@ TEST(Serialize, ProofRejectsWrongHeader)
     text[0] = 'x';
     EXPECT_THROW(deserializeProof<Bn254Family>(text),
                  std::invalid_argument);
+}
+
+TEST(Serialize, ProofRejectsTruncatedBuffers)
+{
+    std::mt19937_64 rng(10);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    auto text = serializeProof<Bn254Family>(proof);
+    // Every prefix must throw -- never crash, never decode.
+    for (std::size_t cut : {std::size_t(0), std::size_t(5),
+                            text.size() / 4, text.size() / 2,
+                            text.size() - 2}) {
+        EXPECT_THROW(
+            deserializeProof<Bn254Family>(text.substr(0, cut)),
+            std::exception)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Serialize, ProofFlippedBytesNeverVerify)
+{
+    std::mt19937_64 rng(11);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    auto text = serializeProof<Bn254Family>(proof);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    ASSERT_TRUE(verifyBn254(keys.vk, proof, pub));
+
+    // Flip one hex digit at a time across the buffer: the result
+    // must either fail to parse or fail verification -- a tampered
+    // serialized proof can never be accepted.
+    for (std::size_t i = 0; i < text.size(); i += 37) {
+        char orig = text[i];
+        if (!std::isxdigit(static_cast<unsigned char>(orig)))
+            continue;
+        auto mutated = text;
+        mutated[i] = orig == 'a' ? 'b' : 'a';
+        try {
+            auto back = deserializeProof<Bn254Family>(mutated);
+            EXPECT_FALSE(verifyBn254(keys.vk, back, pub))
+                << "flipped byte " << i << " still verifies";
+        } catch (const std::exception &) {
+            // rejection at parse time is equally fine
+        }
+    }
 }
 
 TEST(Serialize, VerifyingKeyRoundTrip)

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Deterministic differential-fuzzing driver.
+ *
+ * Sweep mode (default):
+ *     fuzz_driver --iterations=1000 --seed=1 [--seconds=60]
+ *                 [--only=msm|ntt|groth16] [--max-size=40] [--verbose]
+ * runs the bounded fuzz loop over MSM, NTT, Groth16 and the gpusim
+ * accounting invariants, printing a shrunk repro line for every
+ * divergence and exiting nonzero if any was found.
+ *
+ * Replay mode: paste a repro line printed by a failing run,
+ *     fuzz_driver --seed=S --size=N --kind=K
+ * and the driver rebuilds exactly that instance and runs the full
+ * differential registry on it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gpusim/perf_model.hh"
+#include "testkit/testkit.hh"
+
+namespace {
+
+using namespace gzkp;
+
+struct Args {
+    std::uint64_t seed = 1;
+    std::uint64_t iterations = 100;
+    double seconds = 0;
+    std::size_t maxSize = 40;
+    long long replaySize = -1; //!< >= 0 switches to replay mode
+    std::string kind = "adversarial";
+    std::string only;
+    bool verbose = false;
+};
+
+bool
+parseOne(Args &a, const std::string &arg)
+{
+    auto val = [&](const char *key) -> const char * {
+        std::size_t n = std::strlen(key);
+        if (arg.compare(0, n, key) == 0 && arg.size() > n &&
+            arg[n] == '=')
+            return arg.c_str() + n + 1;
+        return nullptr;
+    };
+    if (const char *v = val("--seed"))
+        a.seed = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--iterations"))
+        a.iterations = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--seconds"))
+        a.seconds = std::strtod(v, nullptr);
+    else if (const char *v = val("--max-size"))
+        a.maxSize = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--size"))
+        a.replaySize = std::strtoll(v, nullptr, 0);
+    else if (const char *v = val("--kind"))
+        a.kind = v;
+    else if (const char *v = val("--only"))
+        a.only = v;
+    else if (arg == "--verbose")
+        a.verbose = true;
+    else
+        return false;
+    return true;
+}
+
+int
+report(const testkit::FuzzReport &rep)
+{
+    std::printf("fuzz: %llu iterations, %zu divergence(s)\n",
+                (unsigned long long)rep.iterations,
+                rep.failures.size());
+    for (const auto &f : rep.failures) {
+        std::printf("  [%s] %s\n    repro: fuzz_driver %s\n",
+                    f.target.c_str(), f.detail.c_str(),
+                    f.repro.c_str());
+    }
+    return rep.failures.empty() ? 0 : 1;
+}
+
+int
+replay(const Args &a)
+{
+    testkit::FuzzReport rep;
+    testkit::ScalarMix kind;
+    try {
+        kind = testkit::scalarMixFromName(a.kind);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s (valid kinds:", e.what());
+        for (std::size_t i = 0; i < testkit::kScalarMixCount; ++i)
+            std::fprintf(stderr, " %s",
+                         testkit::name(testkit::ScalarMix(i)));
+        std::fprintf(stderr, ")\n");
+        return 2;
+    }
+    std::size_t n = std::size_t(a.replaySize);
+    std::printf("replaying --seed=%llu --size=%zu --kind=%s\n",
+                (unsigned long long)a.seed, n, a.kind.c_str());
+    testkit::fuzzMsmInstance(testkit::msmDifferential(), a.seed, n,
+                             kind, rep);
+    // Power-of-two sizes also replay through the NTT registries.
+    if (n >= 2 && (n & (n - 1)) == 0) {
+        std::size_t log_n = 0;
+        while ((std::size_t(1) << log_n) < n)
+            ++log_n;
+        auto d = testkit::nttDifferential();
+        auto rt = testkit::nttRoundTripDifferential();
+        testkit::fuzzNttInstance(d, a.seed, log_n, kind, false, rep);
+        testkit::fuzzNttInstance(d, a.seed, log_n, kind, true, rep);
+        testkit::fuzzNttInstance(rt, a.seed, log_n, kind, false, rep);
+    }
+    rep.iterations = 1;
+    return report(rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        if (!parseOne(a, argv[i])) {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            std::fprintf(
+                stderr,
+                "usage: fuzz_driver [--iterations=N] [--seed=S] "
+                "[--seconds=T] [--max-size=N] [--only=msm|ntt|groth16] "
+                "[--verbose]\n       fuzz_driver --seed=S --size=N "
+                "--kind=K   (replay one instance)\n");
+            return 2;
+        }
+    }
+
+    // Any inconsistent KernelStats aborts the run instead of being
+    // silently folded into a modeled time.
+    gzkp::gpusim::setStrictInvariants(true);
+
+    if (a.replaySize >= 0)
+        return replay(a);
+
+    testkit::FuzzOptions opt;
+    opt.seed = a.seed;
+    opt.iterations = a.iterations;
+    opt.maxSeconds = a.seconds;
+    opt.maxMsmSize = a.maxSize;
+    opt.verbose = a.verbose;
+    if (!a.only.empty()) {
+        opt.msm = a.only == "msm";
+        opt.ntt = a.only == "ntt";
+        opt.groth16 = a.only == "groth16";
+        opt.gpusim = opt.msm;
+    }
+    return report(testkit::fuzzAll(opt));
+}
