@@ -1,0 +1,171 @@
+/**
+ * @file
+ * CPU-runtime scaling bench: times the parallel MSM engines and the
+ * batched NTT at thread counts 1/2/4/8 and prints one JSON line per
+ * (variant, size, threads) with the speedup over the threads=1 run.
+ *
+ *     bench_parallel_scaling [--min-log=16] [--max-log=20] [--reps=1]
+ *
+ * Plain main (not google-benchmark): each timing is a whole parallel
+ * region, and the one-line-JSON output feeds EXPERIMENTS.md directly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "msm/msm_gzkp.hh"
+#include "msm/msm_serial.hh"
+#include "ntt/ntt_batched.hh"
+#include "runtime/runtime.hh"
+#include "testkit/testkit.hh"
+
+using namespace gzkp;
+using MsmCfg = ec::Bn254G1Cfg;
+using Fr = ff::Bn254Fr;
+
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+double
+nowNs()
+{
+    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now()
+                          .time_since_epoch())
+                      .count());
+}
+
+template <typename Fn>
+double
+timeNs(std::size_t reps, Fn &&fn)
+{
+    double best = -1;
+    for (std::size_t r = 0; r < reps; ++r) {
+        double t0 = nowNs();
+        fn();
+        double dt = nowNs() - t0;
+        if (best < 0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+void
+emit(const char *variant, std::size_t log_n, std::size_t threads,
+     double ns, double serial_ns)
+{
+    std::printf("{\"bench\":\"parallel-scaling\",\"variant\":\"%s\","
+                "\"log_n\":%zu,\"threads\":%zu,\"ns\":%.0f,"
+                "\"speedup_vs_serial\":%.3f}\n",
+                variant, log_n, threads, ns, serial_ns / ns);
+    std::fflush(stdout);
+}
+
+void
+benchPippenger(std::size_t log_n, std::size_t reps)
+{
+    std::size_t n = std::size_t(1) << log_n;
+    auto in = testkit::msmInstance<MsmCfg>(
+        n, testkit::ScalarMix::Sparse01, 42 + log_n);
+    double serial_ns = 0;
+    for (std::size_t t : kThreadCounts) {
+        msm::PippengerSerial<MsmCfg> engine(0, t);
+        volatile bool sink = false;
+        double ns = timeNs(reps, [&] {
+            sink = engine.run(in.points, in.scalars).isZero();
+        });
+        (void)sink;
+        if (t == 1)
+            serial_ns = ns;
+        emit("pippenger", log_n, t, ns, serial_ns);
+    }
+}
+
+void
+benchGzkpMsm(std::size_t log_n, std::size_t reps)
+{
+    std::size_t n = std::size_t(1) << log_n;
+    auto in = testkit::msmInstance<MsmCfg>(
+        n, testkit::ScalarMix::Sparse01, 142 + log_n);
+    // Single checkpoint (M = windows): CPU preprocessing stays cheap
+    // and the run() phase -- the part that parallelises -- dominates.
+    typename msm::GzkpMsm<MsmCfg>::Options opt;
+    opt.k = 13;
+    opt.checkpointM = msm::windowCount(MsmCfg::Scalar::bits(), opt.k);
+    double serial_ns = 0;
+    for (std::size_t t : kThreadCounts) {
+        opt.threads = t;
+        msm::GzkpMsm<MsmCfg> engine(opt);
+        auto pp = engine.preprocess(in.points);
+        volatile bool sink = false;
+        double ns = timeNs(reps, [&] {
+            sink = engine.run(pp, in.scalars).isZero();
+        });
+        (void)sink;
+        if (t == 1)
+            serial_ns = ns;
+        emit("gzkp-msm", log_n, t, ns, serial_ns);
+    }
+}
+
+void
+benchBatchedNtt(std::size_t log_n, std::size_t reps)
+{
+    // A batch of 16 transforms of 2^(log_n - 4) elements each: the
+    // same total element count as the MSM sizes.
+    std::size_t log_each = log_n > 4 ? log_n - 4 : 1;
+    ntt::Domain<Fr> dom(log_each);
+    testkit::Rng rng(7 + log_n);
+    std::vector<std::vector<Fr>> batch(16);
+    for (auto &v : batch)
+        v = testkit::scalarVector<Fr>(
+            dom.size(), testkit::ScalarMix::Dense, rng);
+    double serial_ns = 0;
+    for (std::size_t t : kThreadCounts) {
+        ntt::BatchedNtt<Fr> engine(ntt::GzkpNtt<Fr>(), t);
+        double ns = timeNs(reps, [&] {
+            auto work = batch;
+            engine.run(dom, work, false);
+        });
+        if (t == 1)
+            serial_ns = ns;
+        emit("ntt-batched", log_n, t, ns, serial_ns);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t min_log = 16, max_log = 20, reps = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--min-log=", 0) == 0)
+            min_log = std::strtoull(a.c_str() + 10, nullptr, 0);
+        else if (a.rfind("--max-log=", 0) == 0)
+            max_log = std::strtoull(a.c_str() + 10, nullptr, 0);
+        else if (a.rfind("--reps=", 0) == 0)
+            reps = std::strtoull(a.c_str() + 7, nullptr, 0);
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_parallel_scaling "
+                         "[--min-log=N] [--max-log=N] [--reps=N]\n");
+            return 2;
+        }
+    }
+    std::printf("{\"bench\":\"parallel-scaling\",\"hardware_threads\""
+                ":%zu}\n",
+                runtime::hardwareThreads());
+    for (std::size_t log_n = min_log; log_n <= max_log; ++log_n) {
+        benchPippenger(log_n, reps);
+        benchGzkpMsm(log_n, reps);
+        benchBatchedNtt(log_n, reps);
+    }
+    return 0;
+}

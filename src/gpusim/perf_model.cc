@@ -1,6 +1,7 @@
 #include "gpusim/perf_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -10,19 +11,20 @@
 namespace gzkp::gpusim {
 
 namespace {
-bool g_strict_invariants = false;
+// Atomic: stats modeling runs from runtime worker threads.
+std::atomic<bool> g_strict_invariants{false};
 } // namespace
 
 void
 setStrictInvariants(bool enabled)
 {
-    g_strict_invariants = enabled;
+    g_strict_invariants.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 strictInvariants()
 {
-    return g_strict_invariants;
+    return g_strict_invariants.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string>
@@ -114,7 +116,7 @@ modelMemorySeconds(const KernelStats &s, const DeviceConfig &dev)
 double
 modelSeconds(const KernelStats &s, const DeviceConfig &dev, Backend backend)
 {
-    if (g_strict_invariants) {
+    if (strictInvariants()) {
         auto bad = invariantViolations(s, dev);
         if (!bad.empty())
             throw std::logic_error("KernelStats invariant: " + bad[0]);

@@ -22,6 +22,7 @@
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
+#include "runtime/runtime.hh"
 
 namespace gzkp::msm {
 
@@ -36,9 +37,11 @@ class BellpersonMsm
     /**
      * @param k window bits (bellperson default region)
      * @param sub_msms horizontal split; 0 = pick for GPU occupancy
+     * @param threads CPU runtime threads; 0 = GZKP_THREADS default
      */
-    explicit BellpersonMsm(std::size_t k = 10, std::size_t sub_msms = 0)
-        : k_(k), subMsms_(sub_msms)
+    explicit BellpersonMsm(std::size_t k = 10, std::size_t sub_msms = 0,
+                           std::size_t threads = 0)
+        : k_(k), subMsms_(sub_msms), threads_(threads)
     {}
 
     std::size_t
@@ -69,33 +72,45 @@ class BellpersonMsm
         std::size_t windows = windowCount(l, k_);
         std::size_t s = effectiveSubMsms(n, dev);
         std::size_t chunk = (n + s - 1) / s;
-        auto repr = scalarsToRepr(scalars);
+        std::size_t threads = runtime::resolveThreads(threads_);
+        auto repr = scalarsToRepr(scalars, threads);
 
-        // windowSums[t] accumulates W_t across sub-MSMs.
+        // windowSums[t] accumulates W_t across sub-MSMs. Each window
+        // is owned by exactly one task and its sub-MSM partials are
+        // merged in ascending sub order, so W_t is identical at any
+        // thread count (and to the sub-major serial walk).
         std::vector<Point> window_sums(windows);
-        std::vector<Point> buckets(std::size_t(1) << k_);
-        for (std::size_t sub = 0; sub < s; ++sub) {
-            std::size_t lo = sub * chunk;
-            std::size_t hi = std::min(n, lo + chunk);
-            if (lo >= hi)
-                break;
-            for (std::size_t t = 0; t < windows; ++t) {
-                // One task: slice [lo,hi) of window t.
-                for (auto &b : buckets)
-                    b = Point::identity();
-                for (std::size_t i = lo; i < hi; ++i) {
-                    std::uint64_t d = windowDigit(repr[i], t, k_);
-                    if (d != 0)
-                        buckets[d] = buckets[d].addMixed(points[i]);
+        runtime::parallelForChunks(
+            threads, windows,
+            [&](std::size_t wlo, std::size_t whi, std::size_t) {
+                std::vector<Point> buckets(std::size_t(1) << k_);
+                for (std::size_t t = wlo; t < whi; ++t) {
+                    Point wsum;
+                    for (std::size_t sub = 0; sub < s; ++sub) {
+                        std::size_t lo = sub * chunk;
+                        std::size_t hi = std::min(n, lo + chunk);
+                        if (lo >= hi)
+                            break;
+                        // One task: slice [lo,hi) of window t.
+                        for (auto &b : buckets)
+                            b = Point::identity();
+                        for (std::size_t i = lo; i < hi; ++i) {
+                            std::uint64_t d =
+                                windowDigit(repr[i], t, k_);
+                            if (d != 0)
+                                buckets[d] =
+                                    buckets[d].addMixed(points[i]);
+                        }
+                        Point acc, sum;
+                        for (std::size_t d = buckets.size(); d-- > 1;) {
+                            acc += buckets[d];
+                            sum += acc;
+                        }
+                        wsum += sum;
+                    }
+                    window_sums[t] = wsum;
                 }
-                Point acc, sum;
-                for (std::size_t d = buckets.size(); d-- > 1;) {
-                    acc += buckets[d];
-                    sum += acc;
-                }
-                window_sums[t] += sum;
-            }
-        }
+            });
 
         // Host-side window reduction (bellperson does this on CPU).
         Point result;
@@ -177,15 +192,27 @@ class BellpersonMsm
         std::size_t windows = windowCount(l, k_);
         std::size_t s = effectiveSubMsms(n, dev);
         std::size_t chunk = (n + s - 1) / s;
-        std::vector<std::uint64_t> task_load(s * windows, 0);
-        for (std::size_t i = 0; i < n; ++i) {
-            auto r = scalars[i].toBigInt();
-            std::size_t sub = i / chunk;
-            for (std::size_t t = 0; t < windows; ++t) {
-                if (windowDigit(r, t, k_) != 0)
-                    ++task_load[sub * windows + t];
-            }
-        }
+        // Exact counts merged in chunk order: thread-count invariant.
+        auto task_load = runtime::parallelReduce(
+            threads_, n, std::vector<std::uint64_t>(s * windows, 0),
+            [&](std::size_t lo, std::size_t hi) {
+                std::vector<std::uint64_t> local(s * windows, 0);
+                for (std::size_t i = lo; i < hi; ++i) {
+                    auto r = scalars[i].toBigInt();
+                    std::size_t sub = i / chunk;
+                    for (std::size_t t = 0; t < windows; ++t) {
+                        if (windowDigit(r, t, k_) != 0)
+                            ++local[sub * windows + t];
+                    }
+                }
+                return local;
+            },
+            [](std::vector<std::uint64_t> acc,
+               std::vector<std::uint64_t> part) {
+                for (std::size_t j = 0; j < acc.size(); ++j)
+                    acc[j] += part[j];
+                return acc;
+            });
         // Tasks co-scheduled in warps: a warp retires at its slowest
         // lane, so compare the mean against the warp-max average.
         double total = 0;
@@ -208,6 +235,7 @@ class BellpersonMsm
   private:
     std::size_t k_;
     std::size_t subMsms_;
+    std::size_t threads_;
 };
 
 } // namespace gzkp::msm

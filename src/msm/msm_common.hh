@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ec/point.hh"
+#include "runtime/runtime.hh"
 
 namespace gzkp::msm {
 
@@ -42,12 +43,13 @@ windowDigit(const ff::BigInt<M> &s, std::size_t t, std::size_t k)
 /** Convert scalars to standard (non-Montgomery) form once. */
 template <typename Scalar>
 std::vector<typename Scalar::Repr>
-scalarsToRepr(const std::vector<Scalar> &scalars)
+scalarsToRepr(const std::vector<Scalar> &scalars,
+              std::size_t threads = 1)
 {
-    std::vector<typename Scalar::Repr> out;
-    out.reserve(scalars.size());
-    for (const auto &s : scalars)
-        out.push_back(s.toBigInt());
+    std::vector<typename Scalar::Repr> out(scalars.size());
+    runtime::parallelFor(threads, scalars.size(), [&](std::size_t i) {
+        out[i] = scalars[i].toBigInt();
+    });
     return out;
 }
 
@@ -76,19 +78,34 @@ msmNaive(const std::vector<ec::AffinePoint<Cfg>> &points,
  */
 template <typename Scalar>
 std::vector<std::uint64_t>
-bucketLoadHistogram(const std::vector<Scalar> &scalars, std::size_t k)
+bucketLoadHistogram(const std::vector<Scalar> &scalars, std::size_t k,
+                    std::size_t threads = 1)
 {
     std::size_t l = Scalar::bits();
     std::size_t windows = windowCount(l, k);
-    std::vector<std::uint64_t> load(std::size_t(1) << k, 0);
-    for (const auto &s : scalars) {
-        auto r = s.toBigInt();
-        for (std::size_t t = 0; t < windows; ++t) {
-            std::uint64_t d = windowDigit(r, t, k);
-            if (d != 0)
-                ++load[d];
-        }
-    }
+    std::size_t nbuckets = std::size_t(1) << k;
+    // Per-chunk histograms merged in chunk order at join: the totals
+    // are exact counts, so they are thread-count invariant.
+    auto load = runtime::parallelReduce(
+        threads, scalars.size(), std::vector<std::uint64_t>(nbuckets, 0),
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<std::uint64_t> local(nbuckets, 0);
+            for (std::size_t i = lo; i < hi; ++i) {
+                auto r = scalars[i].toBigInt();
+                for (std::size_t t = 0; t < windows; ++t) {
+                    std::uint64_t d = windowDigit(r, t, k);
+                    if (d != 0)
+                        ++local[d];
+                }
+            }
+            return local;
+        },
+        [](std::vector<std::uint64_t> acc,
+           std::vector<std::uint64_t> part) {
+            for (std::size_t d = 0; d < acc.size(); ++d)
+                acc[d] += part[d];
+            return acc;
+        });
     load[0] = 0;
     return load;
 }

@@ -39,6 +39,7 @@
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
+#include "runtime/runtime.hh"
 
 namespace gzkp::msm {
 
@@ -68,6 +69,7 @@ class GzkpMsm
         CheckpointMode mode = CheckpointMode::Horner;
         bool loadBalance = true;
         double memoryBudgetFraction = 0.6;
+        std::size_t threads = 0;     //!< 0 = GZKP_THREADS default
     };
 
     /** The preprocessed (weighted, checkpointed) point set. */
@@ -129,16 +131,19 @@ class GzkpMsm
         pp.checkpoints = (pp.windows + pp.m - 1) / pp.m;
 
         std::vector<Point> cur(n);
-        for (std::size_t i = 0; i < n; ++i)
+        runtime::parallelFor(opt_.threads, n, [&](std::size_t i) {
             cur[i] = Point::fromAffine(points[i]);
+        });
         pp.pre.reserve(pp.checkpoints * n);
         for (std::size_t c = 0; c < pp.checkpoints; ++c) {
             if (c != 0) {
-                // Advance every point by M*k doublings.
-                for (std::size_t i = 0; i < n; ++i) {
-                    for (std::size_t d = 0; d < pp.m * pp.k; ++d)
-                        cur[i] = cur[i].dbl();
-                }
+                // Advance every point by M*k doublings (points are
+                // independent, so the doubling chains parallelise).
+                runtime::parallelFor(
+                    opt_.threads, n, [&](std::size_t i) {
+                        for (std::size_t d = 0; d < pp.m * pp.k; ++d)
+                            cur[i] = cur[i].dbl();
+                    });
             }
             auto aff = ec::batchToAffine<Cfg>(cur);
             pp.pre.insert(pp.pre.end(), aff.begin(), aff.end());
@@ -152,48 +157,13 @@ class GzkpMsm
     {
         if (scalars.size() != pp.n)
             throw std::invalid_argument("GzkpMsm::run: size mismatch");
-        auto repr = scalarsToRepr(scalars);
+        std::size_t threads = runtime::resolveThreads(opt_.threads);
+        auto repr = scalarsToRepr(scalars, threads);
         std::size_t nbuckets = std::size_t(1) << pp.k;
 
         std::vector<Point> buckets(nbuckets);
-        if (opt_.mode == CheckpointMode::Horner) {
-            // Partial accumulators A[d][delta], delta = t mod M.
-            std::vector<Point> acc(nbuckets * pp.m);
-            for (std::size_t i = 0; i < pp.n; ++i) {
-                for (std::size_t t = 0; t < pp.windows; ++t) {
-                    std::uint64_t d = windowDigit(repr[i], t, pp.k);
-                    if (d == 0)
-                        continue;
-                    std::size_t c = t / pp.m, delta = t % pp.m;
-                    acc[d * pp.m + delta] =
-                        acc[d * pp.m + delta].addMixed(
-                            pp.pre[c * pp.n + i]);
-                }
-            }
-            for (std::size_t d = 1; d < nbuckets; ++d) {
-                Point x = acc[d * pp.m + pp.m - 1];
-                for (std::size_t delta = pp.m - 1; delta-- > 0;) {
-                    for (std::size_t j = 0; j < pp.k; ++j)
-                        x = x.dbl();
-                    x += acc[d * pp.m + delta];
-                }
-                buckets[d] = x;
-            }
-        } else {
-            // Algorithm 1, literal: per-entry doubling chains.
-            for (std::size_t i = 0; i < pp.n; ++i) {
-                for (std::size_t t = 0; t < pp.windows; ++t) {
-                    std::uint64_t d = windowDigit(repr[i], t, pp.k);
-                    if (d == 0)
-                        continue;
-                    std::size_t c = t / pp.m, delta = t % pp.m;
-                    Point tmp = Point::fromAffine(pp.pre[c * pp.n + i]);
-                    for (std::size_t j = 0; j < delta * pp.k; ++j)
-                        tmp = tmp.dbl();
-                    buckets[d] += tmp;
-                }
-            }
-        }
+        if (pp.n != 0)
+            accumulateBuckets(pp, repr, threads, buckets);
 
         // Single bucket reduction (parallel prefix sum on the GPU;
         // same operation count): sum_d d * B_d via suffix sums.
@@ -301,6 +271,174 @@ class GzkpMsm
     }
 
   private:
+    /**
+     * Chunk count for the p_index build. Shape-only formula (the
+     * determinism rule): capped so the per-chunk count/cursor matrices
+     * stay small relative to the entry array itself.
+     */
+    static std::size_t
+    pIndexChunks(std::size_t n, std::size_t windows, std::size_t nbuckets)
+    {
+        std::size_t cap = std::max<std::size_t>(
+            1, n * windows / (4 * nbuckets));
+        return runtime::chunkCount(n, std::min(runtime::kMaxChunks, cap));
+    }
+
+    /**
+     * The CPU rendering of Algorithm 1's bucket phase. Builds the
+     * bucket-info array p_index (entries t*N + i, grouped by bucket,
+     * each bucket's entries in (i, t) order -- the same order the
+     * point-major serial loops visited them), then processes buckets
+     * as tasks grouped by load: nonzero buckets are ordered
+     * heaviest-first (Section 4.2's LPT policy) and dealt round-robin
+     * into task groups so every group carries a similar load. Each
+     * bucket is owned by exactly one group and its entry order is
+     * fixed by construction, so buckets[] is bit-identical at any
+     * thread count.
+     */
+    void
+    accumulateBuckets(const Preprocessed &pp,
+                      const std::vector<typename Scalar::Repr> &repr,
+                      std::size_t threads,
+                      std::vector<Point> &buckets) const
+    {
+        std::size_t n = pp.n;
+        std::size_t nbuckets = buckets.size();
+        std::size_t chunks = pIndexChunks(n, pp.windows, nbuckets);
+
+        // Pass 1: per-(chunk, bucket) entry counts.
+        std::vector<std::uint64_t> counts(chunks * nbuckets, 0);
+        runtime::parallelForChunks(
+            threads, n,
+            [&](std::size_t lo, std::size_t hi, std::size_t ch) {
+                auto *cnt = counts.data() + ch * nbuckets;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    for (std::size_t t = 0; t < pp.windows; ++t) {
+                        std::uint64_t d = windowDigit(repr[i], t, pp.k);
+                        if (d != 0)
+                            ++cnt[d];
+                    }
+                }
+            },
+            chunks);
+
+        // Bucket-major exclusive prefix: start[d] is bucket d's first
+        // slot, cursor[ch][d] where chunk ch scatters into bucket d.
+        std::vector<std::uint64_t> start(nbuckets + 1);
+        std::vector<std::uint64_t> cursor(chunks * nbuckets);
+        std::uint64_t pos = 0;
+        for (std::size_t d = 0; d < nbuckets; ++d) {
+            start[d] = pos;
+            for (std::size_t ch = 0; ch < chunks; ++ch) {
+                cursor[ch * nbuckets + d] = pos;
+                pos += counts[ch * nbuckets + d];
+            }
+        }
+        start[nbuckets] = pos;
+
+        // Pass 2: scatter packed entries t*N + i, bucket-sorted.
+        std::vector<std::uint64_t> p_index(pos);
+        runtime::parallelForChunks(
+            threads, n,
+            [&](std::size_t lo, std::size_t hi, std::size_t ch) {
+                auto *cur = cursor.data() + ch * nbuckets;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    for (std::size_t t = 0; t < pp.windows; ++t) {
+                        std::uint64_t d = windowDigit(repr[i], t, pp.k);
+                        if (d != 0)
+                            p_index[cur[d]++] =
+                                std::uint64_t(t) * n + i;
+                    }
+                }
+            },
+            chunks);
+
+        // Load-aware task grouping: heaviest buckets first, dealt
+        // round-robin so groups carry similar totals (bucket 0 and
+        // empty buckets need no processing).
+        std::vector<std::size_t> order;
+        order.reserve(nbuckets);
+        for (std::size_t d = 1; d < nbuckets; ++d)
+            if (start[d + 1] > start[d])
+                order.push_back(d);
+        if (order.empty())
+            return;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      std::uint64_t la = start[a + 1] - start[a];
+                      std::uint64_t lb = start[b + 1] - start[b];
+                      if (la != lb)
+                          return la > lb;
+                      return a < b;
+                  });
+        std::size_t groups =
+            std::min(order.size(), runtime::kMaxChunks);
+
+        runtime::parallelForChunks(
+            threads, groups,
+            [&](std::size_t glo, std::size_t ghi, std::size_t) {
+                std::vector<Point> acc(pp.m);
+                for (std::size_t g = glo; g < ghi; ++g) {
+                    for (std::size_t p = g; p < order.size();
+                         p += groups) {
+                        std::size_t d = order[p];
+                        if (opt_.mode == CheckpointMode::Horner)
+                            buckets[d] = bucketHorner(pp, p_index,
+                                                      start[d],
+                                                      start[d + 1], acc);
+                        else
+                            buckets[d] = bucketPerPoint(pp, p_index,
+                                                        start[d],
+                                                        start[d + 1]);
+                    }
+                }
+            },
+            groups);
+    }
+
+    /** Per-delta partial sums, then one shared doubling chain. */
+    Point
+    bucketHorner(const Preprocessed &pp,
+                 const std::vector<std::uint64_t> &p_index,
+                 std::uint64_t lo, std::uint64_t hi,
+                 std::vector<Point> &acc) const
+    {
+        for (auto &a : acc)
+            a = Point::identity();
+        for (std::uint64_t e = lo; e < hi; ++e) {
+            std::size_t t = std::size_t(p_index[e] / pp.n);
+            std::size_t i = std::size_t(p_index[e] % pp.n);
+            std::size_t c = t / pp.m, delta = t % pp.m;
+            acc[delta] = acc[delta].addMixed(pp.pre[c * pp.n + i]);
+        }
+        Point x = acc[pp.m - 1];
+        for (std::size_t delta = pp.m - 1; delta-- > 0;) {
+            for (std::size_t j = 0; j < pp.k; ++j)
+                x = x.dbl();
+            x += acc[delta];
+        }
+        return x;
+    }
+
+    /** Algorithm 1 literal: a doubling chain per entry. */
+    Point
+    bucketPerPoint(const Preprocessed &pp,
+                   const std::vector<std::uint64_t> &p_index,
+                   std::uint64_t lo, std::uint64_t hi) const
+    {
+        Point sum;
+        for (std::uint64_t e = lo; e < hi; ++e) {
+            std::size_t t = std::size_t(p_index[e] / pp.n);
+            std::size_t i = std::size_t(p_index[e] % pp.n);
+            std::size_t c = t / pp.m, delta = t % pp.m;
+            Point tmp = Point::fromAffine(pp.pre[c * pp.n + i]);
+            for (std::size_t j = 0; j < delta * pp.k; ++j)
+                tmp = tmp.dbl();
+            sum += tmp;
+        }
+        return sum;
+    }
+
     static gpusim::KernelStats
     statsForParams(std::size_t n, std::size_t k, std::size_t m,
                    const gpusim::DeviceConfig &dev, const Options &opt,
@@ -313,7 +451,7 @@ class GzkpMsm
         double entries;
         double imbalance;
         if (scalars) {
-            auto hist = bucketLoadHistogram(*scalars, k);
+            auto hist = bucketLoadHistogram(*scalars, k, opt.threads);
             entries = double(std::accumulate(hist.begin(), hist.end(),
                                              std::uint64_t(0)));
             imbalance = imbalanceFromHistogram(hist, dev,

@@ -6,6 +6,11 @@
  *   Tables 2 and 7): per window, group points by digit into buckets,
  *   sum each bucket, reduce buckets with the running-suffix trick,
  *   then combine windows by k doublings (Horner).
+ * - Windows are independent, so the bucket phase parallelises across
+ *   the runtime's threads (one window per task, fixed assignment);
+ *   only the final Horner combine is serial. threads == 1 runs the
+ *   same window sequence inline -- results are bit-identical at any
+ *   thread count.
  * - Cost statistics feed the CPU roofline model of gpusim.
  */
 
@@ -17,6 +22,7 @@
 
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
+#include "runtime/runtime.hh"
 
 namespace gzkp::msm {
 
@@ -38,7 +44,9 @@ class PippengerSerial
     using Affine = ec::AffinePoint<Cfg>;
     using Scalar = typename Cfg::Scalar;
 
-    explicit PippengerSerial(std::size_t k = 0) : k_(k) {}
+    explicit PippengerSerial(std::size_t k = 0, std::size_t threads = 0)
+        : k_(k), threads_(threads)
+    {}
 
     Point
     run(const std::vector<Affine> &points,
@@ -48,30 +56,41 @@ class PippengerSerial
         std::size_t k = k_ ? k_ : pippengerWindow(n);
         std::size_t l = Scalar::bits();
         std::size_t windows = windowCount(l, k);
-        auto repr = scalarsToRepr(scalars);
+        std::size_t threads = runtime::resolveThreads(threads_);
+        auto repr = scalarsToRepr(scalars, threads);
 
+        // Per-window sums, one window per task: within a window the
+        // bucket-insert and suffix-sum order is fixed, so W_t does
+        // not depend on the thread count.
+        std::vector<Point> window_sums(windows);
+        runtime::parallelForChunks(
+            threads, windows,
+            [&](std::size_t wlo, std::size_t whi, std::size_t) {
+                std::vector<Point> buckets(std::size_t(1) << k);
+                for (std::size_t t = wlo; t < whi; ++t) {
+                    for (auto &b : buckets)
+                        b = Point::identity();
+                    for (std::size_t i = 0; i < n; ++i) {
+                        std::uint64_t d = windowDigit(repr[i], t, k);
+                        if (d != 0)
+                            buckets[d] = buckets[d].addMixed(points[i]);
+                    }
+                    // Bucket reduction: sum_d d * B_d via suffix sums.
+                    Point acc, sum;
+                    for (std::size_t d = buckets.size(); d-- > 1;) {
+                        acc += buckets[d];
+                        sum += acc;
+                    }
+                    window_sums[t] = sum;
+                }
+            });
+
+        // Horner combine across windows, serial by construction.
         Point result;
-        std::vector<Point> buckets(std::size_t(1) << k);
         for (std::size_t t = windows; t-- > 0;) {
-            // Horner combine: shift the accumulator one window up.
             for (std::size_t d = 0; d < k; ++d)
                 result = result.dbl();
-
-            for (auto &b : buckets)
-                b = Point::identity();
-            for (std::size_t i = 0; i < n; ++i) {
-                std::uint64_t d = windowDigit(repr[i], t, k);
-                if (d != 0)
-                    buckets[d] = buckets[d].addMixed(points[i]);
-            }
-
-            // Bucket reduction: sum_d d * B_d via suffix sums.
-            Point acc, sum;
-            for (std::size_t d = buckets.size(); d-- > 1;) {
-                acc += buckets[d];
-                sum += acc;
-            }
-            result += sum;
+            result += window_sums[t];
         }
         return result;
     }
@@ -115,6 +134,7 @@ class PippengerSerial
 
   private:
     std::size_t k_;
+    std::size_t threads_;
 };
 
 } // namespace gzkp::msm

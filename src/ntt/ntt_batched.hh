@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ntt/ntt_gpu.hh"
+#include "runtime/runtime.hh"
 
 namespace gzkp::ntt {
 
@@ -27,19 +28,31 @@ template <typename Fr>
 class BatchedNtt
 {
   public:
-    explicit BatchedNtt(GzkpNtt<Fr> kernel = GzkpNtt<Fr>())
-        : kernel_(kernel)
+    /**
+     * @param kernel the per-transform NTT engine
+     * @param threads CPU runtime threads; 0 = GZKP_THREADS default
+     */
+    explicit BatchedNtt(GzkpNtt<Fr> kernel = GzkpNtt<Fr>(),
+                        std::size_t threads = 0)
+        : kernel_(kernel), threads_(threads)
     {}
 
-    /** Transform every vector in the batch (in place). */
+    /**
+     * Transform every vector in the batch (in place). Transforms are
+     * independent passes over disjoint vectors (the domain's twiddle
+     * tables are immutable), so they run in parallel; each vector is
+     * transformed by exactly one worker, so the batch is bit-identical
+     * at any thread count.
+     */
     void
     run(const Domain<Fr> &dom, std::vector<std::vector<Fr>> &batch,
         bool invert = false,
         const gpusim::DeviceConfig &dev =
             gpusim::DeviceConfig::v100()) const
     {
-        for (auto &v : batch)
-            kernel_.run(dom, v, invert, dev);
+        runtime::parallelFor(threads_, batch.size(), [&](std::size_t b) {
+            kernel_.run(dom, batch[b], invert, dev);
+        });
     }
 
     /**
@@ -97,6 +110,7 @@ class BatchedNtt
 
   private:
     GzkpNtt<Fr> kernel_;
+    std::size_t threads_;
 };
 
 } // namespace gzkp::ntt

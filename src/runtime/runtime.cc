@@ -1,0 +1,53 @@
+#include "runtime/runtime.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gzkp::runtime {
+
+namespace {
+/** 0 = unresolved; re-read GZKP_THREADS on the next defaultThreads(). */
+std::atomic<std::size_t> g_default_threads{0};
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc != 0 ? hc : 1;
+}
+
+std::size_t
+parseThreadsSpec(const char *spec)
+{
+    if (spec == nullptr || *spec == '\0')
+        return 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(spec, &end, 10);
+    if (end == spec || *end != '\0')
+        return 0;
+    if (v == 0 || v > 1024)
+        return 0;
+    return std::size_t(v);
+}
+
+std::size_t
+defaultThreads()
+{
+    std::size_t cur = g_default_threads.load(std::memory_order_relaxed);
+    if (cur != 0)
+        return cur;
+    std::size_t v = parseThreadsSpec(std::getenv("GZKP_THREADS"));
+    if (v == 0)
+        v = hardwareThreads();
+    g_default_threads.store(v, std::memory_order_relaxed);
+    return v;
+}
+
+void
+setDefaultThreads(std::size_t threads)
+{
+    g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+} // namespace gzkp::runtime

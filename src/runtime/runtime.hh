@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Deterministic parallel execution runtime.
+ *
+ * A small, work-stealing-free threading layer with parallelFor /
+ * parallelReduce / parallelInvoke primitives, built around one rule:
+ *
+ *   *Chunk boundaries are a function of the problem size only --
+ *   never of the thread count -- and partial results are combined in
+ *   ascending chunk order.*
+ *
+ * Work is split into a fixed sequence of chunks (at most kMaxChunks,
+ * see chunkCount()), chunks are assigned to workers statically
+ * (chunk j runs on worker j mod W), and reductions fold the per-chunk
+ * partials serially in chunk order after the join. Because the chunk
+ * sequence and the combine order never change, every parallel entry
+ * point produces bit-identical results at any thread count --
+ * including threads == 1, which runs the same chunk sequence inline
+ * without spawning a single thread (the serial fallback).
+ *
+ * There is deliberately no work-stealing and no persistent worker
+ * pool: stealing makes the execution schedule -- and with it any
+ * order-sensitive accumulation -- depend on runtime timing, which is
+ * exactly what the bit-reproducibility contract forbids. Load balance
+ * comes instead from callers shaping their chunk lists (the MSM engine
+ * orders bucket tasks heaviest-first, mirroring the paper's
+ * Section 4.2 grouping), and workers are plain std::threads spawned
+ * per parallel region: regions in this codebase are milliseconds to
+ * seconds of field arithmetic, so the ~10us spawn cost is noise and
+ * every region is trivially race-free at join.
+ *
+ * Thread count resolution: an explicit per-call/per-engine count wins;
+ * 0 means "use the default", which is the GZKP_THREADS environment
+ * variable if set and valid, else std::thread::hardware_concurrency().
+ */
+
+#ifndef GZKP_RUNTIME_RUNTIME_HH
+#define GZKP_RUNTIME_RUNTIME_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gzkp::runtime {
+
+/** hardware_concurrency(), never 0. */
+std::size_t hardwareThreads();
+
+/**
+ * Parse a GZKP_THREADS-style spec: a positive decimal thread count.
+ * Returns 0 for null/empty/garbage/zero/absurd (> 1024) values.
+ */
+std::size_t parseThreadsSpec(const char *spec);
+
+/**
+ * The process-wide default thread count: GZKP_THREADS if set and
+ * valid, else hardwareThreads(). Cached after the first call.
+ */
+std::size_t defaultThreads();
+
+/**
+ * Override the process-wide default (the runtime config knob used by
+ * tests and tools); 0 clears the cache so the next defaultThreads()
+ * re-reads the environment.
+ */
+void setDefaultThreads(std::size_t threads);
+
+/** Resolve a requested count: 0 means defaultThreads(). */
+inline std::size_t
+resolveThreads(std::size_t requested)
+{
+    return requested != 0 ? requested : defaultThreads();
+}
+
+/** Runtime configuration carried by engines (0 = default). */
+struct Config {
+    std::size_t threads = 0;
+
+    std::size_t resolved() const { return resolveThreads(threads); }
+};
+
+/**
+ * Upper bound on chunks per parallel region. Large enough that static
+ * round-robin assignment balances well up to ~16 threads, small
+ * enough that per-chunk state (bucket histograms, partial sums) stays
+ * cheap.
+ */
+inline constexpr std::size_t kMaxChunks = 64;
+
+/**
+ * Number of chunks for n items: min(n, max_chunks). Depends only on
+ * the problem size, never on the thread count -- the determinism
+ * anchor.
+ */
+inline std::size_t
+chunkCount(std::size_t n, std::size_t max_chunks = kMaxChunks)
+{
+    return std::min(n, max_chunks);
+}
+
+/** Half-open bounds of chunk j of `chunks` over [0, n). */
+inline std::pair<std::size_t, std::size_t>
+chunkBounds(std::size_t n, std::size_t chunks, std::size_t j)
+{
+    std::size_t base = n / chunks;
+    std::size_t rem = n % chunks;
+    std::size_t lo = j * base + std::min(j, rem);
+    return {lo, lo + base + (j < rem ? 1 : 0)};
+}
+
+namespace detail {
+
+/**
+ * Run worker(w) for w in [0, workers): w = 0 on the calling thread,
+ * the rest on freshly spawned std::threads. The first worker's
+ * exception (in worker order) is rethrown after the join, so a
+ * throwing chunk reports deterministically.
+ */
+template <typename Worker>
+void
+runWorkers(std::size_t workers, Worker &&worker)
+{
+    if (workers <= 1) {
+        worker(std::size_t(0));
+        return;
+    }
+    std::vector<std::exception_ptr> errs(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+        threads.emplace_back([&errs, &worker, w] {
+            try {
+                worker(w);
+            } catch (...) {
+                errs[w] = std::current_exception();
+            }
+        });
+    }
+    try {
+        worker(std::size_t(0));
+    } catch (...) {
+        errs[0] = std::current_exception();
+    }
+    for (auto &t : threads)
+        t.join();
+    for (auto &e : errs)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace detail
+
+/**
+ * Chunked parallel loop: body(lo, hi, chunk) for every chunk of
+ * [0, n), chunks assigned statically (chunk j -> worker j mod W).
+ * Pass `max_chunks` to pin the chunk count (it must still be a
+ * function of the instance only).
+ */
+template <typename Body>
+void
+parallelForChunks(std::size_t threads, std::size_t n, Body &&body,
+                  std::size_t max_chunks = kMaxChunks)
+{
+    std::size_t chunks = chunkCount(n, max_chunks);
+    if (chunks == 0)
+        return;
+    std::size_t workers = std::min(resolveThreads(threads), chunks);
+    detail::runWorkers(workers, [&](std::size_t w) {
+        for (std::size_t j = w; j < chunks; j += workers) {
+            auto [lo, hi] = chunkBounds(n, chunks, j);
+            body(lo, hi, j);
+        }
+    });
+}
+
+/** Element-wise parallel loop: body(i) for i in [0, n). */
+template <typename Body>
+void
+parallelFor(std::size_t threads, std::size_t n, Body &&body,
+            std::size_t max_chunks = kMaxChunks)
+{
+    parallelForChunks(
+        threads, n,
+        [&body](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        },
+        max_chunks);
+}
+
+/**
+ * Deterministic reduction: map(lo, hi) computes one chunk's partial
+ * (T must be default-constructible), combine(acc, partial) folds the
+ * partials *in ascending chunk order* after all workers join. The
+ * chunk sequence and fold order are thread-count independent, so the
+ * result is bit-identical at any thread count even when `combine` is
+ * not associative at the representation level.
+ */
+template <typename T, typename Map, typename Combine>
+T
+parallelReduce(std::size_t threads, std::size_t n, T init, Map &&map,
+               Combine &&combine, std::size_t max_chunks = kMaxChunks)
+{
+    std::size_t chunks = chunkCount(n, max_chunks);
+    if (chunks == 0)
+        return init;
+    std::vector<T> partial(chunks);
+    parallelForChunks(
+        threads, n,
+        [&partial, &map](std::size_t lo, std::size_t hi, std::size_t j) {
+            partial[j] = map(lo, hi);
+        },
+        max_chunks);
+    T acc = std::move(init);
+    for (std::size_t j = 0; j < chunks; ++j)
+        acc = combine(std::move(acc), std::move(partial[j]));
+    return acc;
+}
+
+/**
+ * Run independent tasks concurrently (the Groth16 prover uses this
+ * for its A/B/C MSMs). Each task receives an equal share of the
+ * thread budget for its own nested parallel regions, so the total
+ * live thread count stays ~`threads` instead of multiplying.
+ */
+inline void
+parallelInvoke(std::size_t threads,
+               const std::vector<std::function<void(std::size_t)>> &tasks)
+{
+    std::size_t k = tasks.size();
+    if (k == 0)
+        return;
+    std::size_t t = resolveThreads(threads);
+    std::size_t workers = std::min(t, k);
+    std::size_t share = std::max<std::size_t>(1, t / k);
+    detail::runWorkers(workers, [&](std::size_t w) {
+        for (std::size_t j = w; j < k; j += workers)
+            tasks[j](share);
+    });
+}
+
+/**
+ * Ergonomic handle bundling a resolved thread count with the
+ * primitives above (the "thread pool" the engines hold). Stateless
+ * beyond the count: workers are spawned per region, see the file
+ * comment for why.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t threads = 0)
+        : threads_(resolveThreads(threads))
+    {}
+
+    std::size_t threads() const { return threads_; }
+
+    template <typename Body>
+    void
+    forEach(std::size_t n, Body &&body) const
+    {
+        parallelFor(threads_, n, std::forward<Body>(body));
+    }
+
+    template <typename Body>
+    void
+    forChunks(std::size_t n, Body &&body,
+              std::size_t max_chunks = kMaxChunks) const
+    {
+        parallelForChunks(threads_, n, std::forward<Body>(body),
+                          max_chunks);
+    }
+
+    template <typename T, typename Map, typename Combine>
+    T
+    reduce(std::size_t n, T init, Map &&map, Combine &&combine) const
+    {
+        return parallelReduce(threads_, n, std::move(init),
+                              std::forward<Map>(map),
+                              std::forward<Combine>(combine));
+    }
+
+    void
+    invoke(const std::vector<std::function<void(std::size_t)>> &tasks) const
+    {
+        parallelInvoke(threads_, tasks);
+    }
+
+  private:
+    std::size_t threads_;
+};
+
+} // namespace gzkp::runtime
+
+#endif // GZKP_RUNTIME_RUNTIME_HH

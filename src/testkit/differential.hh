@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,20 @@ class Differential
             }
         }
         return std::nullopt;
+    }
+
+    /**
+     * Run one named variant directly (test hook: the cross-thread-
+     * count tests compare a variant's raw output bit-for-bit across
+     * registries built at different thread counts).
+     */
+    Out
+    runVariant(const std::string &name, const In &input) const
+    {
+        for (const auto &v : variants_)
+            if (v.name == name)
+                return v.fn(input);
+        throw std::invalid_argument("unknown variant: " + name);
     }
 
   private:

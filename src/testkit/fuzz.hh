@@ -13,7 +13,9 @@
  *    forward/inverse round-trips against the identity;
  *  - Groth16: end-to-end setup/prove/verify on random small circuits,
  *    including negative soundness checks (a proof built from a
- *    mutated witness, or a tampered proof, must be rejected);
+ *    mutated witness, or a tampered proof, must be rejected), and
+ *    cross-thread-count proof determinism (identical proof bytes at
+ *    runtime threads 1/2/4/8);
  *  - gpusim: the accounting invariants of every variant's reported
  *    KernelStats (see gpusim::invariantViolations), so the perf
  *    model is fuzzed as a checked contract too.
@@ -96,44 +98,54 @@ using MsmDifferential = Differential<MsmIn, MsmOut>;
 /**
  * The full MSM registry: every production variant against the naive
  * oracle. New implementations register here once and are covered by
- * the unit sweep, the fuzz driver, and CI alike.
+ * the unit sweep, the fuzz driver, and CI alike. `threads` is the
+ * runtime thread count every variant is constructed with (0 = the
+ * GZKP_THREADS default) -- the cross-thread-count differential tests
+ * instantiate the registry at several counts and expect identical
+ * results from each.
  */
 inline MsmDifferential
-msmDifferential()
+msmDifferential(std::size_t threads = 0)
 {
     using namespace gzkp::msm;
     MsmDifferential d("naive", [](const MsmIn &in) {
         return msmNaive<MsmCfg>(in.points, in.scalars);
     });
-    d.add("pippenger-serial", [](const MsmIn &in) {
-        return PippengerSerial<MsmCfg>().run(in.points, in.scalars);
+    d.add("pippenger-serial", [threads](const MsmIn &in) {
+        return PippengerSerial<MsmCfg>(0, threads)
+            .run(in.points, in.scalars);
     });
-    d.add("pippenger-serial-k13", [](const MsmIn &in) {
-        return PippengerSerial<MsmCfg>(13).run(in.points, in.scalars);
+    d.add("pippenger-serial-k13", [threads](const MsmIn &in) {
+        return PippengerSerial<MsmCfg>(13, threads)
+            .run(in.points, in.scalars);
     });
     d.add("straus-k4", [](const MsmIn &in) {
         return StrausMsm<MsmCfg>(4).run(in.points, in.scalars);
     });
-    d.add("bellperson-k9-s3", [](const MsmIn &in) {
-        return BellpersonMsm<MsmCfg>(9, 3).run(in.points, in.scalars);
+    d.add("bellperson-k9-s3", [threads](const MsmIn &in) {
+        return BellpersonMsm<MsmCfg>(9, 3, threads)
+            .run(in.points, in.scalars);
     });
-    d.add("gzkp-horner-m2", [](const MsmIn &in) {
+    d.add("gzkp-horner-m2", [threads](const MsmIn &in) {
         typename GzkpMsm<MsmCfg>::Options o;
         o.k = 8;
         o.checkpointM = 2;
+        o.threads = threads;
         return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
     });
-    d.add("gzkp-horner-m5", [](const MsmIn &in) {
+    d.add("gzkp-horner-m5", [threads](const MsmIn &in) {
         typename GzkpMsm<MsmCfg>::Options o;
         o.k = 8;
         o.checkpointM = 5;
+        o.threads = threads;
         return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
     });
-    d.add("gzkp-perpoint-m3", [](const MsmIn &in) {
+    d.add("gzkp-perpoint-m3", [threads](const MsmIn &in) {
         typename GzkpMsm<MsmCfg>::Options o;
         o.k = 8;
         o.checkpointM = 3;
         o.mode = CheckpointMode::PerPoint;
+        o.threads = threads;
         return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
     });
     return d;
@@ -173,9 +185,12 @@ struct NttInput {
 
 using NttDifferential = Differential<NttInput, std::vector<NttFr>>;
 
-/** NTT registry: GPU-model variants vs the canonical radix-2 flow. */
+/**
+ * NTT registry: GPU-model variants vs the canonical radix-2 flow.
+ * `threads` parameterizes the batched variant's runtime threads.
+ */
 inline NttDifferential
-nttDifferential()
+nttDifferential(std::size_t threads = 0)
 {
     using namespace gzkp::ntt;
     NttDifferential d("ntt-cpu", [](const NttInput &in) {
@@ -202,11 +217,13 @@ nttDifferential()
         GzkpNtt<NttFr>(3, 2).run(dom, a, in.invert);
         return a;
     });
-    d.add("batched", [](const NttInput &in) {
+    d.add("batched", [threads](const NttInput &in) {
         Domain<NttFr> dom(in.logN);
-        std::vector<std::vector<NttFr>> batch = {in.data, in.data};
-        BatchedNtt<NttFr>().run(dom, batch, in.invert);
-        if (!(batch[0] == batch[1]))
+        std::vector<std::vector<NttFr>> batch = {in.data, in.data,
+                                                 in.data};
+        BatchedNtt<NttFr>(ntt::GzkpNtt<NttFr>(), threads)
+            .run(dom, batch, in.invert);
+        if (!(batch[0] == batch[1]) || !(batch[0] == batch[2]))
             throw std::logic_error("batch lanes disagree");
         return batch[0];
     });
@@ -386,6 +403,55 @@ fuzzGroth16Instance(std::uint64_t seed, FuzzReport &rep)
         fail("proof serialization round-trip changed the proof");
 }
 
+/** Repro fragment for a proof-determinism instance (size unused). */
+inline std::string
+proofDeterminismRepro(std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << "--seed=" << seed << " --size=0 --kind=proofdet";
+    return os.str();
+}
+
+/**
+ * Cross-thread-count proof determinism: one circuit, one setup, one
+ * prover-randomness stream -- the serialized proof bytes must be
+ * identical at every runtime thread count. This is the end-to-end
+ * check of the runtime's bit-reproducibility contract: a divergence
+ * anywhere in the parallel NTT/MSM stack changes the proof points.
+ */
+inline void
+fuzzProofDeterminism(std::uint64_t seed, FuzzReport &rep)
+{
+    using Family = zkp::Bn254Family;
+    using G16 = zkp::Groth16<Family>;
+    using Fr = ff::Bn254Fr;
+
+    auto b = randomCircuit<Fr>(seed);
+    Rng rng(deriveSeed(seed, 1));
+    auto keys = G16::setup(b.cs(), rng);
+
+    std::string base;
+    for (std::size_t t : {1, 2, 4, 8}) {
+        // Fresh, identically-seeded randomness per thread count so r/s
+        // match and only the parallel schedule differs.
+        Rng prng(deriveSeed(seed, 2));
+        auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), prng,
+                                nullptr, zkp::CpuNttEngine<Fr>(), t);
+        auto text = zkp::serializeProof<Family>(proof);
+        if (t == 1) {
+            base = text;
+        } else if (text != base) {
+            std::ostringstream detail;
+            detail << "proof bytes diverge between threads=1 and"
+                   << " threads=" << t;
+            rep.failures.push_back({"groth16-determinism",
+                                    proofDeterminismRepro(seed),
+                                    detail.str()});
+            return;
+        }
+    }
+}
+
 // ------------------------------------------------------------- gpusim
 
 /**
@@ -491,6 +557,9 @@ fuzzAll(const FuzzOptions &opt,
         }
         if (opt.groth16 && i % opt.groth16Every == 7)
             fuzzGroth16Instance(deriveSeed(opt.seed, i, 6), rep);
+        // Four proofs per instance, so sample sparsely.
+        if (opt.groth16 && i % (opt.groth16Every * 2) == 23)
+            fuzzProofDeterminism(deriveSeed(opt.seed, i, 7), rep);
 
         ++rep.iterations;
         if (opt.verbose && (i + 1) % 100 == 0) {

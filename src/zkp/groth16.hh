@@ -27,6 +27,7 @@
 #include "ec/fixed_base.hh"
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
+#include "runtime/runtime.hh"
 #include "zkp/families.hh"
 #include "zkp/qap.hh"
 
@@ -37,9 +38,10 @@ struct SerialMsmPolicy {
     template <typename Cfg>
     static ec::ECPoint<Cfg>
     msm(const std::vector<ec::AffinePoint<Cfg>> &pts,
-        const std::vector<typename Cfg::Scalar> &scs)
+        const std::vector<typename Cfg::Scalar> &scs,
+        std::size_t threads = 0)
     {
-        return gzkp::msm::PippengerSerial<Cfg>().run(pts, scs);
+        return gzkp::msm::PippengerSerial<Cfg>(0, threads).run(pts, scs);
     }
 };
 
@@ -48,9 +50,12 @@ struct GzkpMsmPolicy {
     template <typename Cfg>
     static ec::ECPoint<Cfg>
     msm(const std::vector<ec::AffinePoint<Cfg>> &pts,
-        const std::vector<typename Cfg::Scalar> &scs)
+        const std::vector<typename Cfg::Scalar> &scs,
+        std::size_t threads = 0)
     {
-        return gzkp::msm::GzkpMsm<Cfg>().run(pts, scs);
+        typename gzkp::msm::GzkpMsm<Cfg>::Options opt;
+        opt.threads = threads;
+        return gzkp::msm::GzkpMsm<Cfg>(opt).run(pts, scs);
     }
 };
 
@@ -185,13 +190,21 @@ class Groth16
     /**
      * Generate a proof. `z` is the full assignment (with z[0] = 1),
      * already checked to satisfy the constraint system.
+     *
+     * `threads` is the CPU runtime budget (0 = GZKP_THREADS default).
+     * The five MSMs are independent, so they run concurrently via
+     * parallelInvoke, each handed an equal share of the budget for
+     * its own bucket-level parallelism; every MSM engine is itself
+     * thread-count deterministic and the results are combined in a
+     * fixed order, so the proof bytes are identical at any count.
      */
     template <typename MsmPolicy = GzkpMsmPolicy,
               typename NttEngine = CpuNttEngine<Fr>, typename Rng>
     static Proof
     prove(const ProvingKey &pk, const R1cs<Fr> &cs,
           const std::vector<Fr> &z, Rng &rng, ProofAux *aux = nullptr,
-          const NttEngine &ntt_engine = NttEngine())
+          const NttEngine &ntt_engine = NttEngine(),
+          std::size_t threads = 0)
     {
         if (z.size() != pk.numVars)
             throw std::invalid_argument("Groth16::prove: bad witness");
@@ -208,22 +221,39 @@ class Groth16
             aux->s = s;
         }
 
-        // --- MSM stage: five MSMs. ---
-        G1 a_pt = G1::fromAffine(pk.alphaG1) +
-            MsmPolicy::msm(pk.aQuery, z) +                      // MSM 1
-            G1::fromAffine(pk.deltaG1).mul(r);
-        G2 b2_pt = G2::fromAffine(pk.betaG2) +
-            MsmPolicy::msm(pk.b2Query, z) +                     // MSM 2
-            G2::fromAffine(pk.deltaG2).mul(s);
-        G1 b1_pt = G1::fromAffine(pk.betaG1) +
-            MsmPolicy::msm(pk.b1Query, z) +                     // MSM 3
-            G1::fromAffine(pk.deltaG1).mul(s);
-
+        // --- MSM stage: five MSMs, run concurrently. ---
         std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
                                     z.end());
-        G1 c_pt = MsmPolicy::msm(pk.lQuery, aux_scalars) +      // MSM 4
-            MsmPolicy::msm(pk.hQuery, h) +                      // MSM 5
-            a_pt.mul(s) + b1_pt.mul(r) -
+        G1 msm_a, msm_b1, msm_l, msm_h;
+        G2 msm_b2;
+        runtime::parallelInvoke(
+            threads,
+            {
+                [&](std::size_t t) {
+                    msm_a = MsmPolicy::msm(pk.aQuery, z, t);    // MSM 1
+                },
+                [&](std::size_t t) {
+                    msm_b2 = MsmPolicy::msm(pk.b2Query, z, t);  // MSM 2
+                },
+                [&](std::size_t t) {
+                    msm_b1 = MsmPolicy::msm(pk.b1Query, z, t);  // MSM 3
+                },
+                [&](std::size_t t) {
+                    msm_l = MsmPolicy::msm(pk.lQuery,           // MSM 4
+                                           aux_scalars, t);
+                },
+                [&](std::size_t t) {
+                    msm_h = MsmPolicy::msm(pk.hQuery, h, t);    // MSM 5
+                },
+            });
+
+        G1 a_pt = G1::fromAffine(pk.alphaG1) + msm_a +
+            G1::fromAffine(pk.deltaG1).mul(r);
+        G2 b2_pt = G2::fromAffine(pk.betaG2) + msm_b2 +
+            G2::fromAffine(pk.deltaG2).mul(s);
+        G1 b1_pt = G1::fromAffine(pk.betaG1) + msm_b1 +
+            G1::fromAffine(pk.deltaG1).mul(s);
+        G1 c_pt = msm_l + msm_h + a_pt.mul(s) + b1_pt.mul(r) -
             G1::fromAffine(pk.deltaG1).mul(r * s);
 
         Proof p;

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Shared gtest main for the whole suite. Strict gpusim invariant
+ * checking is the suite default: a KernelStats object that fails the
+ * accounting invariants aborts the test with the violation instead of
+ * being silently folded into a modeled time. Tests that specifically
+ * exercise the lenient path disable strict mode locally and restore
+ * it before returning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/perf_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    gzkp::gpusim::setStrictInvariants(true);
+    return RUN_ALL_TESTS();
+}

@@ -227,15 +227,17 @@ TEST(GpusimInvariants, StrictModeThrowsOnBadStats)
     gpusim::KernelStats bad;
     bad.loadImbalanceFactor = 0.25;
 
-    ASSERT_FALSE(gpusim::strictInvariants());
-    EXPECT_GT(gpusim::modelSeconds(bad, dev), 0.0); // lenient default
-
-    gpusim::setStrictInvariants(true);
+    // The shared test main turns strict mode on for the whole suite.
+    ASSERT_TRUE(gpusim::strictInvariants());
     EXPECT_THROW(gpusim::modelSeconds(bad, dev), std::logic_error);
     gpusim::KernelStats good;
     good.fieldMuls = 10;
     EXPECT_GE(gpusim::modelSeconds(good, dev), 0.0);
+
+    // Lenient mode folds the violation into the modeled time.
     gpusim::setStrictInvariants(false);
+    EXPECT_GT(gpusim::modelSeconds(bad, dev), 0.0);
+    gpusim::setStrictInvariants(true);
 }
 
 // ----------------------------------------------------- fast smoke

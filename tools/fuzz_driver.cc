@@ -87,6 +87,15 @@ int
 replay(const Args &a)
 {
     testkit::FuzzReport rep;
+    // --kind=proofdet replays a cross-thread-count proof-determinism
+    // instance; it has no scalar mix or size.
+    if (a.kind == "proofdet") {
+        std::printf("replaying --seed=%llu --size=0 --kind=proofdet\n",
+                    (unsigned long long)a.seed);
+        testkit::fuzzProofDeterminism(a.seed, rep);
+        rep.iterations = 1;
+        return report(rep);
+    }
     testkit::ScalarMix kind;
     try {
         kind = testkit::scalarMixFromName(a.kind);
@@ -132,7 +141,8 @@ main(int argc, char **argv)
                 "usage: fuzz_driver [--iterations=N] [--seed=S] "
                 "[--seconds=T] [--max-size=N] [--only=msm|ntt|groth16] "
                 "[--verbose]\n       fuzz_driver --seed=S --size=N "
-                "--kind=K   (replay one instance)\n");
+                "--kind=K   (replay one instance; --kind=proofdet "
+                "replays a proof-determinism check)\n");
             return 2;
         }
     }
