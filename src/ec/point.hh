@@ -271,6 +271,26 @@ operator*(const gzkp::ff::BigInt<M> &k, const ECPoint<Cfg> &p)
 }
 
 /**
+ * True when p lies on the curve AND in the order-r subgroup (r =
+ * Cfg::Scalar's modulus), checked as r * P == identity. For curves
+ * with cofactor 1 (BN254 G1) the subgroup check is implied by
+ * on-curve, but G2 groups have large cofactors and an on-curve
+ * point outside the r-subgroup enables small-subgroup confinement
+ * attacks on the pairing argument -- every externally supplied point
+ * must pass this before it is used in verification.
+ */
+template <typename Cfg>
+bool
+inPrimeSubgroup(const AffinePoint<Cfg> &p)
+{
+    if (!p.onCurve())
+        return false;
+    return ECPoint<Cfg>::fromAffine(p)
+        .mul(Cfg::Scalar::modulus())
+        .isZero();
+}
+
+/**
  * Batch-normalise Jacobian points to affine with a single inversion
  * (Montgomery's trick). Identity points map to affine identity.
  */

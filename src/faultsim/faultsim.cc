@@ -1,0 +1,299 @@
+#include "faultsim/faultsim.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace gzkp::faultsim {
+
+namespace {
+
+/** SplitMix64 finalizer (same mixer the testkit uses). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashSite(const char *site)
+{
+    // FNV-1a over the site name; sites are short literals.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char *p = site; *p; ++p) {
+        h ^= std::uint64_t(static_cast<unsigned char>(*p));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/**
+ * The installed plan plus its mutable fire counters. Swapped
+ * atomically as a unit so probes never see a plan/counter mismatch.
+ */
+struct PlanState {
+    FaultPlan plan;
+    /** Per-arm fire counts (for `limit`); index-aligned with arms. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> fires;
+
+    explicit PlanState(const FaultPlan &p)
+        : plan(p),
+          fires(new std::atomic<std::uint64_t>[p.arms.size()]())
+    {}
+};
+
+std::mutex g_mu;
+std::shared_ptr<PlanState> g_state; // guarded by g_mu
+std::atomic<bool> g_active{false};  // fast-path flag
+std::atomic<std::uint64_t> g_fired{0};
+std::atomic<std::uint64_t> g_epoch{0};
+
+std::shared_ptr<PlanState>
+loadState()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    return g_state;
+}
+
+bool
+siteMatches(const std::string &pattern, const char *site)
+{
+    if (pattern.empty() || pattern == "*")
+        return true;
+    return std::strstr(site, pattern.c_str()) != nullptr;
+}
+
+} // namespace
+
+const char *
+name(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Alloc: return "alloc";
+    case FaultKind::BitFlip: return "bitflip";
+    case FaultKind::Bucket: return "bucket";
+    case FaultKind::Butterfly: return "butterfly";
+    case FaultKind::Launch: return "launch";
+    }
+    return "unknown";
+}
+
+StatusOr<FaultKind>
+kindFromName(std::string_view s)
+{
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+        if (s == name(FaultKind(i)))
+            return FaultKind(i);
+    }
+    return invalidArgumentError("unknown fault kind '" +
+                                std::string(s) + "'");
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed;
+    for (const auto &a : arms) {
+        os << ";" << name(a.kind) << "@"
+           << (a.site.empty() ? "*" : a.site) << ":" << a.period;
+        if (a.limit != 0)
+            os << "#" << a.limit;
+    }
+    return os.str();
+}
+
+StatusOr<FaultPlan>
+FaultPlan::parse(std::string_view spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t semi = spec.find(';', pos);
+        if (semi == std::string_view::npos)
+            semi = spec.size();
+        std::string_view tok = spec.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (tok.empty())
+            continue;
+        if (tok.substr(0, 5) == "seed=") {
+            char *end = nullptr;
+            std::string v(tok.substr(5));
+            plan.seed = std::strtoull(v.c_str(), &end, 0);
+            if (end == v.c_str() || *end != '\0')
+                return invalidArgumentError(
+                    "GZKP_FAULTS: bad seed '" + v + "'");
+            continue;
+        }
+        // kind@site:period[#limit]
+        std::size_t at = tok.find('@');
+        if (at == std::string_view::npos)
+            return invalidArgumentError(
+                "GZKP_FAULTS: arm '" + std::string(tok) +
+                "' missing '@' (expect kind@site:period[#limit])");
+        FaultArm arm;
+        GZKP_ASSIGN_OR_RETURN(arm.kind, kindFromName(tok.substr(0, at)));
+        std::string_view rest = tok.substr(at + 1);
+        std::size_t colon = rest.find(':');
+        if (colon == std::string_view::npos) {
+            arm.site = std::string(rest);
+        } else {
+            arm.site = std::string(rest.substr(0, colon));
+            std::string nums(rest.substr(colon + 1));
+            std::size_t hash = nums.find('#');
+            std::string period_s =
+                hash == std::string::npos ? nums : nums.substr(0, hash);
+            char *end = nullptr;
+            arm.period = std::strtoull(period_s.c_str(), &end, 0);
+            if (end == period_s.c_str() || *end != '\0' ||
+                arm.period == 0)
+                return invalidArgumentError(
+                    "GZKP_FAULTS: bad period '" + period_s + "'");
+            if (hash != std::string::npos) {
+                std::string limit_s = nums.substr(hash + 1);
+                arm.limit = std::strtoull(limit_s.c_str(), &end, 0);
+                if (end == limit_s.c_str() || *end != '\0')
+                    return invalidArgumentError(
+                        "GZKP_FAULTS: bad limit '" + limit_s + "'");
+            }
+        }
+        if (arm.site.empty())
+            arm.site = "*";
+        plan.arms.push_back(std::move(arm));
+    }
+    return plan;
+}
+
+void
+installPlan(const FaultPlan &plan)
+{
+    auto state = std::make_shared<PlanState>(plan);
+    {
+        std::lock_guard<std::mutex> lk(g_mu);
+        g_state = std::move(state);
+    }
+    g_fired.store(0, std::memory_order_relaxed);
+    g_epoch.store(0, std::memory_order_relaxed);
+    g_active.store(!plan.arms.empty(), std::memory_order_release);
+}
+
+void
+clearPlan()
+{
+    g_active.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_state.reset();
+}
+
+bool
+active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+FaultPlan
+currentPlan()
+{
+    auto state = loadState();
+    return state ? state->plan : FaultPlan();
+}
+
+Status
+installFromEnv()
+{
+    const char *spec = std::getenv("GZKP_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return Status::ok();
+    auto plan = FaultPlan::parse(spec);
+    if (!plan.isOk())
+        return plan.status();
+    installPlan(*plan);
+    return Status::ok();
+}
+
+std::uint64_t
+firedCount()
+{
+    return g_fired.load(std::memory_order_relaxed);
+}
+
+void
+advanceEpoch()
+{
+    g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+currentEpoch()
+{
+    return g_epoch.load(std::memory_order_relaxed);
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan &plan)
+    : prev_(currentPlan()), hadPrev_(active())
+{
+    installPlan(plan);
+}
+
+ScopedFaultPlan::ScopedFaultPlan(std::string_view spec)
+    : prev_(currentPlan()), hadPrev_(active())
+{
+    auto plan = FaultPlan::parse(spec);
+    if (!plan.isOk())
+        throw StatusError(plan.status());
+    installPlan(*plan);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    if (hadPrev_)
+        installPlan(prev_);
+    else
+        clearPlan();
+}
+
+FireDecision
+decide(FaultKind kind, const char *site, std::uint64_t index)
+{
+    FireDecision out;
+    if (!active())
+        return out;
+    auto state = loadState();
+    if (!state)
+        return out;
+    std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+    std::uint64_t h = mix64(state->plan.seed ^ hashSite(site) ^
+                            mix64(index) ^
+                            (std::uint64_t(kind) << 56) ^
+                            mix64(epoch ^ 0xc0ffee));
+    for (std::size_t i = 0; i < state->plan.arms.size(); ++i) {
+        const FaultArm &arm = state->plan.arms[i];
+        if (arm.kind != kind || !siteMatches(arm.site, site))
+            continue;
+        if (h % arm.period != 0)
+            continue;
+        if (arm.limit != 0) {
+            // Reserve a fire slot; release it if over the limit. The
+            // *which-probe* decision stays schedule-independent; only
+            // which of several same-instant fires hits a small limit
+            // can race, which the chaos invariant tolerates.
+            std::uint64_t n = state->fires[i].fetch_add(
+                1, std::memory_order_relaxed);
+            if (n >= arm.limit)
+                continue;
+        }
+        g_fired.fetch_add(1, std::memory_order_relaxed);
+        out.fire = true;
+        out.salt = mix64(h ^ 0x5a5a5a5a5a5a5a5aull);
+        return out;
+    }
+    return out;
+}
+
+} // namespace gzkp::faultsim

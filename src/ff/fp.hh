@@ -18,7 +18,6 @@
 #ifndef GZKP_FF_FP_HH
 #define GZKP_FF_FP_HH
 
-#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -234,11 +233,19 @@ class Fp
         return r;
     }
 
-    /** Convert a standard-form integer (must be < p) into the field. */
+    /**
+     * Convert a standard-form integer into the field. Rejects
+     * non-canonical input (>= p) with a typed exception rather than
+     * an assert: callers feed this from deserialized bytes, and a
+     * release-build silent acceptance would alias two encodings of
+     * the same element.
+     */
     static Fp
     fromBigInt(const Repr &standard)
     {
-        assert(standard < modulus());
+        if (!(standard < modulus()))
+            throw std::invalid_argument(
+                "Fp::fromBigInt: value >= modulus");
         Fp r;
         r.v_ = montMul(standard, params().r2, params());
         return r;

@@ -201,6 +201,12 @@ NatNum::operator*(const NatNum &o) const
 NatNum
 NatNum::shl(std::size_t bits) const
 {
+    // Allocation guard: the result buffer is sized from `bits` before
+    // any arithmetic, so a corrupt or hostile shift count would turn
+    // into an unbounded allocation. Nothing in this codebase shifts
+    // past a few thousand bits (modulus setup); 2^24 is generous.
+    if (bits > (std::size_t(1) << 24))
+        throw std::invalid_argument("NatNum::shl: shift too large");
     if (isZero())
         return NatNum();
     std::size_t limb_shift = bits / 64;

@@ -18,6 +18,7 @@
 #define GZKP_FF_TOWER_HH
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "ff/bigint.hh"
 
@@ -118,6 +119,73 @@ class Fp2T
                 result *= *this;
         }
         return result;
+    }
+
+    /** Field norm N(a) = a * a^p = c0^2 - beta * c1^2, in Fq. */
+    Fq
+    norm() const
+    {
+        return c0.squared() - Cfg::beta() * c1.squared();
+    }
+
+    /**
+     * Quadratic character: +1 residue, -1 non-residue, 0 for zero.
+     * a is a square in Fp2 iff its norm is a square in Fp (the norm
+     * map is surjective onto Fq* with kernel of even order).
+     */
+    int
+    legendre() const
+    {
+        if (isZero())
+            return 0;
+        // norm() is zero only for zero (beta is a non-residue).
+        return norm().legendre();
+    }
+
+    /**
+     * Square root by the complex method (requires Fq's p = 3 mod 4,
+     * true for all our base fields). With delta = sqrt(N(a)), one of
+     * t = (c0 +- delta)/2 is a residue; then r = sqrt(t) + u *
+     * c1/(2 sqrt(t)) satisfies r^2 = a. Throws std::domain_error for
+     * non-residues.
+     */
+    Fp2T
+    sqrt() const
+    {
+        if (isZero())
+            return zero();
+        if (c1.isZero()) {
+            // Base-field element: sqrt in Fq if c0 is a residue,
+            // else sqrt(c0/beta) * u (beta is a non-residue, so
+            // exactly one of the two cases applies).
+            if (c0.legendre() == 1)
+                return Fp2T(c0.sqrt(), Fq::zero());
+            return Fp2T(Fq::zero(),
+                        (c0 * Cfg::beta().inverse()).sqrt());
+        }
+        Fq delta;
+        try {
+            delta = norm().sqrt();
+        } catch (const std::domain_error &) {
+            throw std::domain_error(
+                "Fp2::sqrt: not a quadratic residue");
+        }
+        Fq half = (Fq::one() + Fq::one()).inverse();
+        Fq t = (c0 + delta) * half;
+        if (t.legendre() != 1)
+            t = (c0 - delta) * half;
+        Fq r0;
+        try {
+            r0 = t.sqrt();
+        } catch (const std::domain_error &) {
+            throw std::domain_error(
+                "Fp2::sqrt: not a quadratic residue");
+        }
+        Fp2T r(r0, c1 * (r0 + r0).inverse());
+        if (r.squared() != *this)
+            throw std::domain_error(
+                "Fp2::sqrt: not a quadratic residue");
+        return r;
     }
 
     template <typename Rng>

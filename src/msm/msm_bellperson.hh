@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
@@ -85,6 +86,7 @@ class BellpersonMsm
             [&](std::size_t wlo, std::size_t whi, std::size_t) {
                 std::vector<Point> buckets(std::size_t(1) << k_);
                 for (std::size_t t = wlo; t < whi; ++t) {
+                    faultsim::checkLaunch("msm.bellperson.window", t);
                     Point wsum;
                     for (std::size_t sub = 0; sub < s; ++sub) {
                         std::size_t lo = sub * chunk;
@@ -108,6 +110,9 @@ class BellpersonMsm
                         }
                         wsum += sum;
                     }
+                    faultsim::maybeCorruptPoint(
+                        faultsim::FaultKind::Bucket, wsum,
+                        "msm.bellperson.bucket", t);
                     window_sums[t] = wsum;
                 }
             });

@@ -36,6 +36,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
@@ -116,37 +117,78 @@ class GzkpMsm
     }
 
     /**
+     * Resumable state for the Algorithm-1 weighted-point
+     * preprocessing. Each checkpoint block (a chain of M*k doublings
+     * plus a batch affine conversion) is committed into `pp` as it
+     * completes, so a fault thrown mid-preprocess loses at most the
+     * in-flight block: the recovery layer re-calls
+     * preprocessResumable() with the same progress object and work
+     * restarts at block `done`, not at block 0.
+     */
+    struct PreprocessProgress {
+        Preprocessed pp;
+        std::vector<Point> cur; //!< doubling-chain state per point
+        std::size_t done = 0;   //!< checkpoint blocks committed
+        bool started = false;
+    };
+
+    /**
      * One-time preprocessing of a fixed point vector (the proving
      * key never changes per application -- Section 4.1).
      */
     Preprocessed
     preprocess(const std::vector<Affine> &points) const
     {
-        std::size_t n = points.size();
-        Preprocessed pp;
-        pp.n = n;
-        pp.k = window(n);
-        pp.m = checkpointInterval(n);
-        pp.windows = windowCount(Scalar::bits(), pp.k);
-        pp.checkpoints = (pp.windows + pp.m - 1) / pp.m;
+        PreprocessProgress progress;
+        return preprocessResumable(points, progress);
+    }
 
-        std::vector<Point> cur(n);
-        runtime::parallelFor(opt_.threads, n, [&](std::size_t i) {
-            cur[i] = Point::fromAffine(points[i]);
-        });
-        pp.pre.reserve(pp.checkpoints * n);
-        for (std::size_t c = 0; c < pp.checkpoints; ++c) {
+    /** Checkpointed preprocess; see PreprocessProgress. */
+    Preprocessed
+    preprocessResumable(const std::vector<Affine> &points,
+                        PreprocessProgress &progress) const
+    {
+        std::size_t n = points.size();
+        if (!progress.started) {
+            Preprocessed &pp = progress.pp;
+            pp.n = n;
+            pp.k = window(n);
+            pp.m = checkpointInterval(n);
+            pp.windows = windowCount(Scalar::bits(), pp.k);
+            pp.checkpoints = (pp.windows + pp.m - 1) / pp.m;
+
+            faultsim::checkAlloc("msm.gzkp.preprocess", 0);
+            progress.cur.resize(n);
+            runtime::parallelFor(opt_.threads, n, [&](std::size_t i) {
+                progress.cur[i] = Point::fromAffine(points[i]);
+            });
+            pp.pre.reserve(pp.checkpoints * n);
+            progress.started = true;
+        }
+        Preprocessed &pp = progress.pp;
+        for (std::size_t c = progress.done; c < pp.checkpoints; ++c) {
+            faultsim::checkLaunch("msm.gzkp.preprocess", c);
+            // Work on a copy of the chain state and commit it only
+            // once the whole block lands, so a fault thrown anywhere
+            // inside the block leaves `progress` at block c exactly.
+            std::vector<Point> next;
+            const std::vector<Point> *src = &progress.cur;
             if (c != 0) {
                 // Advance every point by M*k doublings (points are
                 // independent, so the doubling chains parallelise).
+                next = progress.cur;
                 runtime::parallelFor(
                     opt_.threads, n, [&](std::size_t i) {
                         for (std::size_t d = 0; d < pp.m * pp.k; ++d)
-                            cur[i] = cur[i].dbl();
+                            next[i] = next[i].dbl();
                     });
+                src = &next;
             }
-            auto aff = ec::batchToAffine<Cfg>(cur);
+            auto aff = ec::batchToAffine<Cfg>(*src);
             pp.pre.insert(pp.pre.end(), aff.begin(), aff.end());
+            if (c != 0)
+                progress.cur = std::move(next);
+            progress.done = c + 1; // commit the block
         }
         return pp;
     }
@@ -161,6 +203,7 @@ class GzkpMsm
         auto repr = scalarsToRepr(scalars, threads);
         std::size_t nbuckets = std::size_t(1) << pp.k;
 
+        faultsim::checkAlloc("msm.gzkp.buckets", nbuckets);
         std::vector<Point> buckets(nbuckets);
         if (pp.n != 0)
             accumulateBuckets(pp, repr, threads, buckets);
@@ -306,6 +349,10 @@ class GzkpMsm
         std::size_t nbuckets = buckets.size();
         std::size_t chunks = pIndexChunks(n, pp.windows, nbuckets);
 
+        // The three modeled kernels (merge, Horner, reduce) map to
+        // the three phases below; each gets a launch probe.
+        faultsim::checkLaunch("msm.gzkp.kernel.count", 0);
+
         // Pass 1: per-(chunk, bucket) entry counts.
         std::vector<std::uint64_t> counts(chunks * nbuckets, 0);
         runtime::parallelForChunks(
@@ -337,6 +384,8 @@ class GzkpMsm
         start[nbuckets] = pos;
 
         // Pass 2: scatter packed entries t*N + i, bucket-sorted.
+        faultsim::checkLaunch("msm.gzkp.kernel.scatter", 1);
+        faultsim::checkAlloc("msm.gzkp.p_index", pos);
         std::vector<std::uint64_t> p_index(pos);
         runtime::parallelForChunks(
             threads, n,
@@ -374,6 +423,7 @@ class GzkpMsm
         std::size_t groups =
             std::min(order.size(), runtime::kMaxChunks);
 
+        faultsim::checkLaunch("msm.gzkp.kernel.bucket", 2);
         runtime::parallelForChunks(
             threads, groups,
             [&](std::size_t glo, std::size_t ghi, std::size_t) {
@@ -390,6 +440,12 @@ class GzkpMsm
                             buckets[d] = bucketPerPoint(pp, p_index,
                                                         start[d],
                                                         start[d + 1]);
+                        // Simulated warp-level soft error: a bucket
+                        // accumulator is written with a corrupted
+                        // coordinate. Deterministic in d.
+                        faultsim::maybeCorruptPoint(
+                            faultsim::FaultKind::Bucket, buckets[d],
+                            "msm.gzkp.bucket", d);
                     }
                 }
             },

@@ -20,6 +20,7 @@
 #include <cmath>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "gpusim/perf_model.hh"
 #include "msm/msm_common.hh"
 #include "runtime/runtime.hh"
@@ -68,6 +69,7 @@ class PippengerSerial
             [&](std::size_t wlo, std::size_t whi, std::size_t) {
                 std::vector<Point> buckets(std::size_t(1) << k);
                 for (std::size_t t = wlo; t < whi; ++t) {
+                    faultsim::checkLaunch("msm.serial.window", t);
                     for (auto &b : buckets)
                         b = Point::identity();
                     for (std::size_t i = 0; i < n; ++i) {
@@ -81,6 +83,9 @@ class PippengerSerial
                         acc += buckets[d];
                         sum += acc;
                     }
+                    faultsim::maybeCorruptPoint(
+                        faultsim::FaultKind::Bucket, sum,
+                        "msm.serial.bucket", t);
                     window_sums[t] = sum;
                 }
             });

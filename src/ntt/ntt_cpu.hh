@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "gpusim/perf_model.hh"
 #include "ntt/domain.hh"
 
@@ -71,6 +72,12 @@ nttInPlace(const Domain<Fr> &dom, std::vector<Fr> &a, bool invert = false)
                 a[start + j + half] = u - v;
             }
         }
+        // Simulated soft error: one butterfly output of this
+        // iteration is corrupted (one probe per iteration, so the
+        // hot loop stays probe-free).
+        faultsim::maybeCorruptElement(faultsim::FaultKind::Butterfly,
+                                      a.data(), n, "ntt.cpu.iter",
+                                      iter);
     }
 
     if (invert) {

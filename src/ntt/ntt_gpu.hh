@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "gpusim/device.hh"
 #include "gpusim/memtrace.hh"
 #include "gpusim/perf_model.hh"
@@ -189,6 +190,7 @@ class ShuffledNtt
         std::size_t b = effectiveB(dev);
         std::vector<Fr> staged;
         for (const Batch &bt : makeBatches(log_n, b)) {
+            faultsim::checkLaunch("ntt.bg.batch", bt.startIter);
             std::size_t bb = bt.iters;
             std::size_t gsz = std::size_t(1) << bb;
             std::size_t groups = n / gsz;
@@ -204,6 +206,9 @@ class ShuffledNtt
                 for (std::size_t j = 0; j < gsz; ++j)
                     a[base + j * stride] = staged[j];
             }
+            faultsim::maybeCorruptElement(
+                faultsim::FaultKind::Butterfly, a.data(), n,
+                "ntt.bg.batch", bt.startIter);
         }
 
         if (invert) {
@@ -415,6 +420,7 @@ class GzkpNtt
         std::size_t b = effectiveB(log_n);
         std::vector<Fr> shared; // the modeled per-SM shared memory
         for (const Batch &bt : makeBatches(log_n, b)) {
+            faultsim::checkLaunch("ntt.gzkp.batch", bt.startIter);
             std::size_t bb = bt.iters;
             std::size_t gsz = std::size_t(1) << bb;
             std::size_t groups = n / gsz;
@@ -447,6 +453,9 @@ class GzkpNtt
                         a[base + j * stride] = shared[c * gsz + j];
                 }
             }
+            faultsim::maybeCorruptElement(
+                faultsim::FaultKind::Butterfly, a.data(), n,
+                "ntt.gzkp.batch", bt.startIter);
         }
 
         if (invert) {

@@ -50,4 +50,31 @@ setDefaultThreads(std::size_t threads)
     g_default_threads.store(threads, std::memory_order_relaxed);
 }
 
+namespace {
+/** Per-thread active cancel token (inherited by spawned workers). */
+thread_local CancelToken *t_cancel_token = nullptr;
+} // namespace
+
+CancelToken *
+currentCancelToken()
+{
+    return t_cancel_token;
+}
+
+void
+detail::setCurrentCancelToken(CancelToken *token)
+{
+    t_cancel_token = token;
+}
+
+CancelScope::CancelScope(CancelToken *token) : prev_(t_cancel_token)
+{
+    t_cancel_token = token;
+}
+
+CancelScope::~CancelScope()
+{
+    t_cancel_token = prev_;
+}
+
 } // namespace gzkp::runtime

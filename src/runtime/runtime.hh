@@ -32,18 +32,33 @@
  * Thread count resolution: an explicit per-call/per-engine count wins;
  * 0 means "use the default", which is the GZKP_THREADS environment
  * variable if set and valid, else std::thread::hardware_concurrency().
+ *
+ * Cancellation: every parallel region cooperates with an optional
+ * CancelToken. A caller installs one with a CancelScope; the region
+ * checks it between chunks (never inside the field arithmetic, so the
+ * determinism contract is untouched on the success path) and aborts
+ * the region by throwing CancelledError / DeadlineExceededError --
+ * both StatusError subclasses, so statusGuard() at the pipeline
+ * boundary maps them to kCancelled / kDeadlineExceeded. Workers
+ * inherit the spawning region's token. A cancelled region still joins
+ * every worker before the exception propagates: no detached threads,
+ * no torn state visible to the caller.
  */
 
 #ifndef GZKP_RUNTIME_RUNTIME_HH
 #define GZKP_RUNTIME_RUNTIME_HH
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "status/status.hh"
 
 namespace gzkp::runtime {
 
@@ -82,6 +97,129 @@ struct Config {
 
     std::size_t resolved() const { return resolveThreads(threads); }
 };
+
+/** Thrown when a parallel region observes a cancelled token. */
+class CancelledError : public StatusError
+{
+  public:
+    CancelledError()
+        : StatusError(cancelledError("parallel region cancelled"))
+    {}
+};
+
+/** Thrown when a parallel region observes an expired deadline. */
+class DeadlineExceededError : public StatusError
+{
+  public:
+    DeadlineExceededError()
+        : StatusError(deadlineExceededError("deadline exceeded"))
+    {}
+};
+
+/**
+ * Cooperative cancellation + deadline. Shared by reference between
+ * the controller (who calls cancel()) and the running pipeline (whose
+ * parallel regions poll check()/throwIfStopped() between chunks).
+ * All members are safe to call concurrently.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** Absolute deadline; once passed, regions stop cooperatively. */
+    void
+    setDeadline(Clock::time_point deadline)
+    {
+        deadlineNs_.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline.time_since_epoch())
+                .count(),
+            std::memory_order_relaxed);
+    }
+
+    /** Convenience: deadline = now + timeout. */
+    template <typename Rep, typename Period>
+    void
+    setTimeout(std::chrono::duration<Rep, Period> timeout)
+    {
+        setDeadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(timeout));
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    expired() const
+    {
+        std::int64_t d = deadlineNs_.load(std::memory_order_relaxed);
+        if (d == kNoDeadline)
+            return false;
+        return Clock::now().time_since_epoch() >=
+            std::chrono::nanoseconds(d);
+    }
+
+    /** kOk, kCancelled, or kDeadlineExceeded. */
+    Status
+    check() const
+    {
+        if (cancelled())
+            return cancelledError("cancel requested");
+        if (expired())
+            return deadlineExceededError("deadline exceeded");
+        return Status::ok();
+    }
+
+    /** The polling hook used inside parallel regions. */
+    void
+    throwIfStopped() const
+    {
+        if (cancelled())
+            throw CancelledError();
+        if (expired())
+            throw DeadlineExceededError();
+    }
+
+  private:
+    static constexpr std::int64_t kNoDeadline = -1;
+
+    std::atomic<bool> cancelled_{false};
+    std::atomic<std::int64_t> deadlineNs_{kNoDeadline};
+};
+
+/**
+ * The calling thread's active token (nullptr when none installed).
+ * Parallel regions capture it at entry and re-install it on their
+ * workers, so nested regions inherit cancellation transparently.
+ */
+CancelToken *currentCancelToken();
+
+/** Install `token` for the current scope (RAII; nestable). */
+class CancelScope
+{
+  public:
+    explicit CancelScope(CancelToken *token);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    CancelToken *prev_;
+};
+
+namespace detail {
+/** Used by runWorkers to propagate the token onto worker threads. */
+void setCurrentCancelToken(CancelToken *token);
+} // namespace detail
 
 /**
  * Upper bound on chunks per parallel region. Large enough that static
@@ -128,11 +266,13 @@ runWorkers(std::size_t workers, Worker &&worker)
         worker(std::size_t(0));
         return;
     }
+    CancelToken *token = currentCancelToken();
     std::vector<std::exception_ptr> errs(workers);
     std::vector<std::thread> threads;
     threads.reserve(workers - 1);
     for (std::size_t w = 1; w < workers; ++w) {
-        threads.emplace_back([&errs, &worker, w] {
+        threads.emplace_back([&errs, &worker, token, w] {
+            detail::setCurrentCancelToken(token);
             try {
                 worker(w);
             } catch (...) {
@@ -168,9 +308,14 @@ parallelForChunks(std::size_t threads, std::size_t n, Body &&body,
     std::size_t chunks = chunkCount(n, max_chunks);
     if (chunks == 0)
         return;
+    CancelToken *token = currentCancelToken();
+    if (token)
+        token->throwIfStopped();
     std::size_t workers = std::min(resolveThreads(threads), chunks);
     detail::runWorkers(workers, [&](std::size_t w) {
         for (std::size_t j = w; j < chunks; j += workers) {
+            if (token)
+                token->throwIfStopped();
             auto [lo, hi] = chunkBounds(n, chunks, j);
             body(lo, hi, j);
         }
@@ -234,12 +379,16 @@ parallelInvoke(std::size_t threads,
     std::size_t k = tasks.size();
     if (k == 0)
         return;
+    CancelToken *token = currentCancelToken();
     std::size_t t = resolveThreads(threads);
     std::size_t workers = std::min(t, k);
     std::size_t share = std::max<std::size_t>(1, t / k);
     detail::runWorkers(workers, [&](std::size_t w) {
-        for (std::size_t j = w; j < k; j += workers)
+        for (std::size_t j = w; j < k; j += workers) {
+            if (token)
+                token->throwIfStopped();
             tasks[j](share);
+        }
     });
 }
 

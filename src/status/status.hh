@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Structured error propagation for the prover pipeline.
+ *
+ * The library's arithmetic kernels keep using exceptions internally
+ * (field/curve code is header-templated and exception-light already),
+ * but every *pipeline* boundary -- prover stages, MSM/NTT engine entry
+ * points, preprocessing, serialization drivers -- reports failure as a
+ * typed gzkp::Status instead of crashing or leaking a raw throw to the
+ * caller. A production prover serving live traffic must distinguish
+ * "caller handed us garbage" (kInvalidArgument) from "transient device
+ * fault, retry" (kUnavailable) from "result failed its self-check,
+ * do not emit" (kDataLoss); an abort distinguishes nothing.
+ *
+ * Conventions (see DESIGN.md "Fault model & recovery"):
+ *  - kInvalidArgument / kFailedPrecondition: caller bugs; never retried.
+ *  - kResourceExhausted: allocation failure; retried after degradation.
+ *  - kUnavailable: launch/backend failure; retried, then backend demoted.
+ *  - kDataLoss: a computed result failed verification (soft error);
+ *    retried -- an invalid proof is NEVER returned as a value.
+ *  - kCancelled / kDeadlineExceeded: cooperative cancellation
+ *    (runtime::CancelToken); never retried.
+ *  - kInternal: an unclassified exception escaped a stage.
+ *
+ * StatusError is the bridge between the two worlds: a std::exception
+ * that carries a Status. Deep library code may throw it (the fault
+ * simulator does); statusGuard() at the pipeline boundary converts any
+ * exception -- StatusError or std:: -- back into a typed Status.
+ */
+
+#ifndef GZKP_STATUS_STATUS_HH
+#define GZKP_STATUS_STATUS_HH
+
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace gzkp {
+
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kFailedPrecondition,
+    kOutOfRange,
+    kResourceExhausted,
+    kUnavailable,
+    kDataLoss,
+    kCancelled,
+    kDeadlineExceeded,
+    kInternal,
+};
+
+inline const char *
+statusCodeName(StatusCode c)
+{
+    switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+/** A typed result code with a human-readable message. */
+class Status
+{
+  public:
+    /** Default is OK (the moral equivalent of a void return). */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Prefix a pipeline-stage name: "msm.a: launch failed". */
+    Status
+    withContext(const std::string &stage) const
+    {
+        if (isOk())
+            return *this;
+        return Status(code_, stage + ": " + message_);
+    }
+
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+    /** Status equality is code equality (messages are diagnostics). */
+    bool operator==(const Status &o) const { return code_ == o.code_; }
+    bool operator!=(const Status &o) const { return code_ != o.code_; }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+inline Status
+invalidArgumentError(std::string msg)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status
+failedPreconditionError(std::string msg)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status
+outOfRangeError(std::string msg)
+{
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status
+resourceExhaustedError(std::string msg)
+{
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status
+unavailableError(std::string msg)
+{
+    return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status
+dataLossError(std::string msg)
+{
+    return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status
+cancelledError(std::string msg)
+{
+    return Status(StatusCode::kCancelled, std::move(msg));
+}
+inline Status
+deadlineExceededError(std::string msg)
+{
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status
+internalError(std::string msg)
+{
+    return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/**
+ * An exception carrying a Status. Thrown by deep library code that
+ * cannot return a Status (operator chains, parallel workers, the
+ * fault simulator); converted back at the pipeline boundary by
+ * statusGuard().
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.toString()),
+          status_(std::move(status))
+    {}
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** A value or the Status explaining why there is none. */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Implicit from a value (the common return path). */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    /** Implicit from a non-OK status. OK without a value is an error. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk())
+            status_ = internalError("StatusOr constructed from OK "
+                                    "status without a value");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+
+    const Status &
+    status() const
+    {
+        static const Status kOk;
+        return isOk() ? kOk : status_;
+    }
+
+    /** Value access; throws StatusError if not OK (test ergonomics). */
+    T &
+    value()
+    {
+        if (!isOk())
+            throw StatusError(status_);
+        return *value_;
+    }
+    const T &
+    value() const
+    {
+        if (!isOk())
+            throw StatusError(status_);
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Early-return a non-OK Status from a Status-returning function. */
+#define GZKP_RETURN_IF_ERROR(expr)                                     \
+    do {                                                               \
+        ::gzkp::Status gzkp_status_tmp = (expr);                       \
+        if (!gzkp_status_tmp.isOk())                                   \
+            return gzkp_status_tmp;                                    \
+    } while (0)
+
+#define GZKP_STATUS_CONCAT_INNER(a, b) a##b
+#define GZKP_STATUS_CONCAT(a, b) GZKP_STATUS_CONCAT_INNER(a, b)
+
+/** Unwrap a StatusOr into `lhs`, early-returning its error. */
+#define GZKP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                     \
+    auto tmp = (expr);                                                 \
+    if (!tmp.isOk())                                                   \
+        return tmp.status();                                           \
+    lhs = std::move(*tmp)
+#define GZKP_ASSIGN_OR_RETURN(lhs, expr)                               \
+    GZKP_ASSIGN_OR_RETURN_IMPL(                                        \
+        GZKP_STATUS_CONCAT(gzkp_statusor_, __LINE__), lhs, expr)
+
+/** Map the in-flight exception to a typed Status (call in catch). */
+inline Status
+statusFromCurrentException()
+{
+    try {
+        throw;
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::bad_alloc &e) {
+        return resourceExhaustedError(e.what());
+    } catch (const std::invalid_argument &e) {
+        return invalidArgumentError(e.what());
+    } catch (const std::domain_error &e) {
+        return invalidArgumentError(e.what());
+    } catch (const std::out_of_range &e) {
+        return outOfRangeError(e.what());
+    } catch (const std::underflow_error &e) {
+        return outOfRangeError(e.what());
+    } catch (const std::overflow_error &e) {
+        return outOfRangeError(e.what());
+    } catch (const std::exception &e) {
+        return internalError(e.what());
+    } catch (...) {
+        return internalError("unknown exception");
+    }
+}
+
+/**
+ * Run a pipeline stage, converting any escaping exception into a
+ * typed Status annotated with the stage name. Never throws.
+ */
+template <typename F>
+auto
+statusGuard(const char *stage, F &&f) -> StatusOr<decltype(f())>
+{
+    try {
+        return std::forward<F>(f)();
+    } catch (...) {
+        return statusFromCurrentException().withContext(stage);
+    }
+}
+
+/** void-returning overload of statusGuard(). */
+template <typename F>
+auto
+statusGuardVoid(const char *stage, F &&f)
+    -> std::enable_if_t<std::is_void_v<decltype(f())>, Status>
+{
+    try {
+        std::forward<F>(f)();
+        return Status::ok();
+    } catch (...) {
+        return statusFromCurrentException().withContext(stage);
+    }
+}
+
+} // namespace gzkp
+
+#endif // GZKP_STATUS_STATUS_HH

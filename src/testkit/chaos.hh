@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Chaos harness: seeded fault-plan generation plus the single
+ * invariant every chaos run is held to --
+ *
+ *     a prover run under ANY fault plan ends in exactly one of two
+ *     states: a proof that verifies, or a typed non-OK gzkp::Status.
+ *     Never an invalid proof, never a crash, never a hang.
+ *
+ * The harness generates random-but-reproducible plans over the real
+ * probe-site vocabulary (so arms actually hit the pipeline rather
+ * than matching nothing), runs the self-checking BN254 prover under
+ * each, and classifies the outcome. tests/test_chaos.cc sweeps
+ * hundreds of seeds through runChaosPlan() and asserts the invariant
+ * on every one; the CI chaos job replays a slice of the same sweep
+ * through the GZKP_FAULTS environment path.
+ */
+
+#ifndef GZKP_TESTKIT_CHAOS_HH
+#define GZKP_TESTKIT_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faultsim/faultsim.hh"
+#include "testkit/generators.hh"
+#include "testkit/rng.hh"
+#include "zkp/groth16_bn254.hh"
+#include "zkp/prover_pipeline.hh"
+#include "zkp/serialize.hh"
+
+namespace gzkp::testkit {
+
+/**
+ * The shared chaos workload: one small satisfiable circuit and its
+ * Groth16 keys, built once (setup is fault-free by construction --
+ * plans are installed per run, after the fixture exists).
+ */
+struct ChaosFixture {
+    workload::Builder<ff::Bn254Fr> builder;
+    zkp::Groth16<zkp::Bn254Family>::Keys keys;
+    std::vector<ff::Bn254Fr> publicInputs;
+
+    ChaosFixture()
+        : builder(randomCircuit<ff::Bn254Fr>(0xC0FFEE, 10))
+    {
+        Rng rng(deriveSeed(0xC0FFEE, 1));
+        keys = zkp::Groth16<zkp::Bn254Family>::setup(builder.cs(), rng);
+        const auto &z = builder.assignment();
+        publicInputs.assign(z.begin() + 1,
+                            z.begin() + 1 + builder.cs().numPublic());
+    }
+};
+
+inline const ChaosFixture &
+chaosFixture()
+{
+    static const ChaosFixture fx;
+    return fx;
+}
+
+/**
+ * Probe sites that exist in the pipeline, used to bias generated
+ * arms toward plans that actually fire. "*" and a never-matching
+ * site are included deliberately: the sweep must also cover
+ * everything-fails and nothing-fires plans.
+ */
+inline const std::vector<std::string> &
+chaosSites()
+{
+    static const std::vector<std::string> sites = {
+        "*",
+        "msm.gzkp",
+        "msm.gzkp.bucket",
+        "msm.gzkp.preprocess",
+        "msm.gzkp.kernel",
+        "msm.serial",
+        "msm.bellperson",
+        "ntt.cpu",
+        "groth16.poly.h",
+        "msm",
+        "ntt",
+        "no.such.site",
+    };
+    return sites;
+}
+
+/**
+ * A seeded, reproducible fault plan: 0-3 arms over the real site
+ * vocabulary with skewed periods (small periods = hard plans) and a
+ * mix of limited (transient) and unlimited (persistent) arms.
+ * Seed 0 mod 16 yields the empty plan, so the sweep keeps covering
+ * the probes-never-touch-data path too.
+ */
+inline faultsim::FaultPlan
+randomFaultPlan(std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, 0xFA));
+    faultsim::FaultPlan plan;
+    plan.seed = deriveSeed(seed, 0xFB);
+    if (seed % 16 == 0)
+        return plan; // empty: probes must not perturb anything
+    std::size_t arms = 1 + rng() % 3;
+    static const std::uint64_t periods[] = {1, 1, 2, 3, 5, 17, 64};
+    static const std::uint64_t limits[] = {0, 0, 1, 1, 2, 5};
+    const auto &sites = chaosSites();
+    for (std::size_t i = 0; i < arms; ++i) {
+        faultsim::FaultArm arm;
+        arm.kind =
+            faultsim::FaultKind(rng() % faultsim::kFaultKindCount);
+        arm.site = sites[rng() % sites.size()];
+        arm.period = periods[rng() % (sizeof(periods) /
+                                      sizeof(periods[0]))];
+        arm.limit =
+            limits[rng() % (sizeof(limits) / sizeof(limits[0]))];
+        plan.arms.push_back(arm);
+    }
+    return plan;
+}
+
+/** What one chaos run ended as. */
+struct ChaosOutcome {
+    bool proofOk = false;   //!< a proof was returned AND verifies
+    /** The pipeline released a proof the verifier rejects: the one
+        outcome the subsystem exists to make impossible. */
+    bool releasedBadProof = false;
+    Status status;          //!< the typed error otherwise
+    std::uint64_t fires = 0; //!< probe fires during the run
+    zkp::SelfCheckingProver<zkp::Bn254Family>::Report report;
+
+    /** The chaos invariant. */
+    bool
+    clean() const
+    {
+        if (releasedBadProof)
+            return false;
+        return proofOk ? status.isOk() : !status.isOk();
+    }
+};
+
+/**
+ * Run the self-checking prover once under `plan`. The returned
+ * outcome always satisfies clean(); the caller additionally asserts
+ * that proofOk implies independent pairing verification passed
+ * (checked here, outside the prover's own self-check).
+ */
+inline ChaosOutcome
+runChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed)
+{
+    const ChaosFixture &fx = chaosFixture();
+    ChaosOutcome out;
+
+    faultsim::ScopedFaultPlan guard(plan);
+    zkp::SelfCheckingProver<zkp::Bn254Family>::Options opt;
+    opt.maxAttemptsPerBackend = 2;
+    opt.threads = 2;
+    auto prover = zkp::makeBn254SelfCheckingProver(opt);
+
+    Rng rng(deriveSeed(seed, 0xFC));
+    auto r = prover.prove(fx.keys.pk, fx.keys.vk, fx.builder.cs(),
+                          fx.builder.assignment(), rng, &out.report);
+    out.fires = faultsim::firedCount();
+    if (r.isOk()) {
+        // Independent acceptance check: the pipeline must never
+        // release a proof the *verifier* (which carries no probes)
+        // rejects. A failure here is the invariant violation the
+        // whole subsystem exists to prevent.
+        if (zkp::verifyBn254(fx.keys.vk, *r, fx.publicInputs)) {
+            out.proofOk = true;
+        } else {
+            out.releasedBadProof = true;
+            out.status = dataLossError(
+                "chaos: pipeline released a non-verifying proof");
+        }
+    } else {
+        out.status = r.status();
+    }
+    return out;
+}
+
+} // namespace gzkp::testkit
+
+#endif // GZKP_TESTKIT_CHAOS_HH

@@ -18,7 +18,10 @@
  *    runtime threads 1/2/4/8);
  *  - gpusim: the accounting invariants of every variant's reported
  *    KernelStats (see gpusim::invariantViolations), so the perf
- *    model is fuzzed as a checked contract too.
+ *    model is fuzzed as a checked contract too;
+ *  - fault: seeded chaos plans (testkit/chaos.hh) driven through the
+ *    self-checking prover pipeline; every run must end in a verifying
+ *    proof or a typed gzkp::Status -- never a bad proof.
  *
  * On divergence the failing instance is greedily shrunk and the
  * report carries a self-contained repro line (--seed=S --size=N
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "ec/curves.hh"
+#include "faultsim/faultsim.hh"
 #include "msm/msm_bellperson.hh"
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
@@ -42,6 +46,7 @@
 #include "ntt/ntt_batched.hh"
 #include "ntt/ntt_cpu.hh"
 #include "ntt/ntt_gpu.hh"
+#include "testkit/chaos.hh"
 #include "testkit/differential.hh"
 #include "testkit/generators.hh"
 #include "testkit/shrink.hh"
@@ -61,7 +66,9 @@ struct FuzzOptions {
     bool ntt = true;
     bool groth16 = true;
     bool gpusim = true;
+    bool fault = true;
     std::uint64_t groth16Every = 40; //!< proofs are expensive
+    std::uint64_t faultEvery = 16;   //!< chaos runs prove repeatedly
     bool verbose = false;
 };
 
@@ -452,6 +459,40 @@ fuzzProofDeterminism(std::uint64_t seed, FuzzReport &rep)
     }
 }
 
+// -------------------------------------------------------------- fault
+
+/** Repro fragment for a chaos instance (size unused). */
+inline std::string
+faultRepro(std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << "--seed=" << seed << " --size=0 --kind=fault";
+    return os.str();
+}
+
+/**
+ * One chaos iteration: generate a seeded fault plan, run the
+ * self-checking prover under it, and assert the chaos invariant --
+ * the run ends in a verifying proof or a typed error, and the
+ * pipeline never releases a proof the verifier rejects.
+ */
+inline void
+fuzzFaultInstance(std::uint64_t seed, FuzzReport &rep)
+{
+    auto plan = randomFaultPlan(seed);
+    auto out = runChaosPlan(plan, seed);
+    if (out.clean())
+        return;
+    std::ostringstream detail;
+    detail << "plan \"" << plan.toString() << "\": ";
+    if (out.releasedBadProof)
+        detail << "pipeline released a non-verifying proof";
+    else
+        detail << "outcome neither verifying proof nor typed error ("
+               << out.status.toString() << ")";
+    rep.failures.push_back({"fault", faultRepro(seed), detail.str()});
+}
+
 // ------------------------------------------------------------- gpusim
 
 /**
@@ -560,6 +601,9 @@ fuzzAll(const FuzzOptions &opt,
         // Four proofs per instance, so sample sparsely.
         if (opt.groth16 && i % (opt.groth16Every * 2) == 23)
             fuzzProofDeterminism(deriveSeed(opt.seed, i, 7), rep);
+        // Chaos runs may retry across three backends: sample sparsely.
+        if (opt.fault && i % opt.faultEvery == 11)
+            fuzzFaultInstance(deriveSeed(opt.seed, i, 8), rep);
 
         ++rep.iterations;
         if (opt.verbose && (i + 1) % 100 == 0) {

@@ -9,6 +9,7 @@
 #ifndef GZKP_TESTKIT_TESTKIT_HH
 #define GZKP_TESTKIT_TESTKIT_HH
 
+#include "testkit/chaos.hh"
 #include "testkit/differential.hh"
 #include "testkit/fuzz.hh"
 #include "testkit/generators.hh"

@@ -25,9 +25,12 @@
 #include <vector>
 
 #include "ec/fixed_base.hh"
+#include "faultsim/faultsim.hh"
+#include "msm/msm_bellperson.hh"
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
 #include "runtime/runtime.hh"
+#include "status/status.hh"
 #include "zkp/families.hh"
 #include "zkp/qap.hh"
 
@@ -56,6 +59,19 @@ struct GzkpMsmPolicy {
         typename gzkp::msm::GzkpMsm<Cfg>::Options opt;
         opt.threads = threads;
         return gzkp::msm::GzkpMsm<Cfg>(opt).run(pts, scs);
+    }
+};
+
+/** MSM engine policy: the bellperson-like baseline (fallback tier). */
+struct BellpersonMsmPolicy {
+    template <typename Cfg>
+    static ec::ECPoint<Cfg>
+    msm(const std::vector<ec::AffinePoint<Cfg>> &pts,
+        const std::vector<typename Cfg::Scalar> &scs,
+        std::size_t threads = 0)
+    {
+        return gzkp::msm::BellpersonMsm<Cfg>(10, 0, threads)
+            .run(pts, scs);
     }
 };
 
@@ -213,6 +229,11 @@ class Groth16
         ntt::Domain<Fr> dom(pk.domainLog);
         auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
         h.resize(pk.hQuery.size()); // degree <= N-2
+        // Simulated soft error on the POLY-stage output held in
+        // device memory between the two prover stages.
+        faultsim::maybeCorruptElement(faultsim::FaultKind::BitFlip,
+                                      h.data(), h.size(),
+                                      "groth16.poly.h", 0);
 
         Fr r = Fr::random(rng);
         Fr s = Fr::random(rng);
@@ -261,6 +282,40 @@ class Groth16
         p.b = b2_pt.toAffine();
         p.c = c_pt.toAffine();
         return p;
+    }
+
+    /**
+     * Status-returning prove(): validates arguments up front and
+     * converts any exception escaping the two prover stages --
+     * injected faults, allocation failure, cooperative cancellation
+     * -- into a typed gzkp::Status instead of letting it unwind
+     * through the caller. This is the entry point the self-checking
+     * pipeline (prover_pipeline.hh) builds on.
+     */
+    template <typename MsmPolicy = GzkpMsmPolicy,
+              typename NttEngine = CpuNttEngine<Fr>, typename Rng>
+    static StatusOr<Proof>
+    proveChecked(const ProvingKey &pk, const R1cs<Fr> &cs,
+                 const std::vector<Fr> &z, Rng &rng,
+                 ProofAux *aux = nullptr,
+                 const NttEngine &ntt_engine = NttEngine(),
+                 std::size_t threads = 0)
+    {
+        if (pk.numVars == 0 || pk.aQuery.size() != pk.numVars)
+            return failedPreconditionError(
+                "groth16.prove: malformed proving key");
+        if (z.size() != pk.numVars)
+            return invalidArgumentError(
+                "groth16.prove: witness size " +
+                std::to_string(z.size()) + " != numVars " +
+                std::to_string(pk.numVars));
+        if (!z.empty() && z[0] != Fr::one())
+            return invalidArgumentError(
+                "groth16.prove: witness z[0] must be 1");
+        return statusGuard("groth16.prove", [&] {
+            return prove<MsmPolicy, NttEngine>(pk, cs, z, rng, aux,
+                                               ntt_engine, threads);
+        });
     }
 
     /**

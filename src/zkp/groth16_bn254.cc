@@ -14,6 +14,15 @@ verifyBn254(const Groth16<Bn254Family>::VerifyingKey &vk,
     if (public_inputs.size() + 1 != vk.ic.size())
         return false;
 
+    // Validate the proof's group encodings before any pairing: a
+    // point off the curve breaks the curve arithmetic's assumptions,
+    // and an on-curve G2 point outside the order-r subgroup admits
+    // small-subgroup confinement of e(A, B). G1 has cofactor 1, so
+    // its subgroup check reduces to on-curve plus r*P == 0 hygiene.
+    if (!ec::inPrimeSubgroup(proof.a) || !ec::inPrimeSubgroup(proof.b) ||
+        !ec::inPrimeSubgroup(proof.c))
+        return false;
+
     // IC(x) = ic_0 + sum x_i * ic_i.
     G1 acc = G1::fromAffine(vk.ic[0]);
     for (std::size_t i = 0; i < public_inputs.size(); ++i) {

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The self-checking prover pipeline: Groth16 proving with fault
+ * detection, bounded retry, and graceful backend degradation.
+ *
+ * The pipeline wraps Groth16::proveChecked() with the recovery policy
+ * described in DESIGN.md ("Fault model & recovery"):
+ *
+ *  1. every attempt runs under the caller's CancelToken (cooperative
+ *     cancellation + deadline, polled between parallel chunks);
+ *  2. the returned proof is *self-checked* before it is released --
+ *     first structurally (all three points on curve and in the
+ *     prime-order subgroup: a bit-flip in a Jacobian coordinate
+ *     almost never lands back on the curve), then cryptographically
+ *     (the family's pairing verifier, when one is configured). A
+ *     proof that fails either check becomes a kDataLoss status and is
+ *     never returned to the caller;
+ *  3. retryable failures (kResourceExhausted, kUnavailable,
+ *     kDataLoss, kInternal) are retried up to maxAttemptsPerBackend
+ *     times with bounded exponential backoff; faultsim::advanceEpoch()
+ *     runs between attempts so *transient* injected faults (limited
+ *     arms, or arms whose hash misses in the next epoch) clear while
+ *     *persistent* ones keep firing;
+ *  4. when a backend exhausts its attempts the pipeline demotes down
+ *     the chain GZKP MSM -> bellperson MSM -> serial Pippenger and
+ *     starts over. Caller bugs (kInvalidArgument,
+ *     kFailedPrecondition) and cooperative stops (kCancelled,
+ *     kDeadlineExceeded) are never retried and never demoted: they
+ *     return immediately.
+ *
+ * The terminal contract -- asserted by the chaos suite over hundreds
+ * of seeded fault plans -- is that prove() always ends in exactly one
+ * of two states: a proof that verifies, or a typed non-OK Status.
+ * Never a bad proof, never a crash, never a hang.
+ *
+ * preprocessWithResume() applies the same retry policy to the MSM
+ * engine's Algorithm-1 weighted-point preprocessing, resuming from
+ * the last committed checkpoint block instead of recomputing the
+ * whole table after a fault.
+ */
+
+#ifndef GZKP_ZKP_PROVER_PIPELINE_HH
+#define GZKP_ZKP_PROVER_PIPELINE_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "faultsim/faultsim.hh"
+#include "runtime/runtime.hh"
+#include "status/status.hh"
+#include "zkp/groth16.hh"
+#include "zkp/groth16_bn254.hh"
+
+namespace gzkp::zkp {
+
+/** The graceful-degradation chain, fastest tier first. */
+enum class ProverBackend { Gzkp = 0, Bellperson = 1, Serial = 2 };
+
+inline constexpr std::size_t kProverBackendCount = 3;
+
+inline const char *
+name(ProverBackend b)
+{
+    switch (b) {
+    case ProverBackend::Gzkp: return "gzkp";
+    case ProverBackend::Bellperson: return "bellperson";
+    case ProverBackend::Serial: return "serial";
+    }
+    return "?";
+}
+
+/**
+ * True when a status is worth retrying (a transient fault, a failed
+ * self-check, an allocation failure). Caller bugs and cooperative
+ * stops are final.
+ */
+inline bool
+retryableStatus(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kResourceExhausted: // alloc failure
+    case StatusCode::kUnavailable:       // kernel-launch failure
+    case StatusCode::kDataLoss:          // self-check caught corruption
+    case StatusCode::kInternal:          // unclassified; retry is safe
+        return true;
+    default:
+        return false;
+    }
+}
+
+/**
+ * Self-checking Groth16 prover with backend fallback.
+ *
+ * The verifier callback is the cryptographic self-check: for BN254
+ * use makeBn254SelfCheckingProver() (pairing verification); for other
+ * families leave it empty and the self-check is structural only
+ * (on-curve + prime-subgroup), which already catches every
+ * coordinate-level corruption.
+ */
+template <typename Family>
+class SelfCheckingProver
+{
+  public:
+    using G = Groth16<Family>;
+    using Fr = typename Family::Fr;
+    using Proof = typename G::Proof;
+    using ProvingKey = typename G::ProvingKey;
+    using VerifyingKey = typename G::VerifyingKey;
+    using Verifier = std::function<bool(
+        const VerifyingKey &, const Proof &, const std::vector<Fr> &)>;
+
+    struct Options {
+        std::size_t maxAttemptsPerBackend = 2;
+        ProverBackend start = ProverBackend::Gzkp;
+        /** Base of the bounded exponential backoff; 0 = no sleep. */
+        std::chrono::milliseconds backoffBase{0};
+        std::chrono::milliseconds backoffCap{100};
+        std::size_t threads = 0; //!< 0 = GZKP_THREADS default
+        bool selfCheck = true;
+        runtime::CancelToken *cancel = nullptr;
+    };
+
+    struct Attempt {
+        ProverBackend backend = ProverBackend::Gzkp;
+        Status status;
+    };
+
+    /** What happened, for logging and for the chaos assertions. */
+    struct Report {
+        std::vector<Attempt> attempts;
+        ProverBackend backendUsed = ProverBackend::Gzkp;
+        bool succeeded = false;
+        std::size_t epochsAdvanced = 0;
+    };
+
+    explicit SelfCheckingProver(Options opt = Options(),
+                                Verifier verifier = Verifier())
+        : opt_(opt), verifier_(std::move(verifier))
+    {}
+
+    /**
+     * Prove with retry and fallback. Returns a proof that passed the
+     * self-check, or the last typed error once every backend is
+     * exhausted (non-retryable statuses return immediately).
+     */
+    template <typename Rng>
+    StatusOr<Proof>
+    prove(const ProvingKey &pk, const VerifyingKey &vk,
+          const R1cs<Fr> &cs, const std::vector<Fr> &z, Rng &rng,
+          Report *report = nullptr) const
+    {
+        Report local;
+        Report &rep = report ? *report : local;
+        rep = Report();
+
+        // Install the token only when the caller supplied one, so an
+        // ambient scope (e.g. a test harness deadline) is preserved.
+        std::optional<runtime::CancelScope> scope;
+        if (opt_.cancel)
+            scope.emplace(opt_.cancel);
+
+        Status last =
+            internalError("prover.pipeline: no attempt executed");
+        for (std::size_t b = std::size_t(opt_.start);
+             b < kProverBackendCount; ++b) {
+            ProverBackend backend = ProverBackend(b);
+            for (std::size_t attempt = 0;
+                 attempt < opt_.maxAttemptsPerBackend; ++attempt) {
+                if (opt_.cancel) {
+                    Status s = opt_.cancel->check();
+                    if (!s.isOk()) {
+                        rep.attempts.push_back({backend, s});
+                        return s.withContext("prover.pipeline");
+                    }
+                }
+                StatusOr<Proof> r = proveWith(backend, pk, cs, z, rng);
+                Status s = r.isOk()
+                    ? selfCheck(vk, *r, publicInputs(pk, z))
+                    : r.status();
+                rep.attempts.push_back({backend, s});
+                if (s.isOk()) {
+                    rep.backendUsed = backend;
+                    rep.succeeded = true;
+                    return std::move(*r);
+                }
+                last = s;
+                if (!retryableStatus(s.code()))
+                    return last.withContext("prover.pipeline");
+                // A new fault epoch: transient injected faults clear,
+                // persistent ones keep firing and force demotion.
+                faultsim::advanceEpoch();
+                ++rep.epochsAdvanced;
+                backoff(attempt);
+            }
+        }
+        return last.withContext(
+            "prover.pipeline: all backends exhausted");
+    }
+
+    /** The public inputs x (without the leading 1) sliced from z. */
+    static std::vector<Fr>
+    publicInputs(const ProvingKey &pk, const std::vector<Fr> &z)
+    {
+        if (z.size() < pk.numPublic + 1)
+            return {};
+        return std::vector<Fr>(z.begin() + 1,
+                               z.begin() + 1 + pk.numPublic);
+    }
+
+  private:
+    template <typename Rng>
+    StatusOr<Proof>
+    proveWith(ProverBackend backend, const ProvingKey &pk,
+              const R1cs<Fr> &cs, const std::vector<Fr> &z,
+              Rng &rng) const
+    {
+        switch (backend) {
+        case ProverBackend::Gzkp:
+            return G::template proveChecked<GzkpMsmPolicy>(
+                pk, cs, z, rng, nullptr, CpuNttEngine<Fr>(),
+                opt_.threads);
+        case ProverBackend::Bellperson:
+            return G::template proveChecked<BellpersonMsmPolicy>(
+                pk, cs, z, rng, nullptr, CpuNttEngine<Fr>(),
+                opt_.threads);
+        case ProverBackend::Serial:
+            return G::template proveChecked<SerialMsmPolicy>(
+                pk, cs, z, rng, nullptr, CpuNttEngine<Fr>(),
+                opt_.threads);
+        }
+        return internalError("prover.pipeline: unknown backend");
+    }
+
+    Status
+    selfCheck(const VerifyingKey &vk, const Proof &p,
+              const std::vector<Fr> &pub) const
+    {
+        if (!opt_.selfCheck)
+            return Status::ok();
+        // Structural check first: it is cheap relative to a pairing
+        // and catches coordinate-level corruption (a flipped bit in a
+        // Jacobian coordinate maps to an affine point off the curve).
+        if (!ec::inPrimeSubgroup(p.a) || !ec::inPrimeSubgroup(p.b) ||
+            !ec::inPrimeSubgroup(p.c))
+            return dataLossError(
+                "prover.selfcheck: proof point off curve or outside "
+                "prime-order subgroup");
+        if (verifier_ && !verifier_(vk, p, pub))
+            return dataLossError(
+                "prover.selfcheck: proof failed verification");
+        return Status::ok();
+    }
+
+    void
+    backoff(std::size_t attempt) const
+    {
+        if (opt_.backoffBase.count() <= 0)
+            return;
+        auto delay = opt_.backoffBase *
+            (std::int64_t(1) << std::min<std::size_t>(attempt, 16));
+        std::this_thread::sleep_for(std::min(
+            std::chrono::milliseconds(delay), opt_.backoffCap));
+    }
+
+    Options opt_;
+    Verifier verifier_;
+};
+
+/**
+ * The BN254 pipeline with the real pairing verifier as the
+ * cryptographic self-check.
+ */
+inline SelfCheckingProver<Bn254Family>
+makeBn254SelfCheckingProver(
+    typename SelfCheckingProver<Bn254Family>::Options opt = {})
+{
+    using P = SelfCheckingProver<Bn254Family>;
+    return P(opt,
+             [](const typename P::VerifyingKey &vk,
+                const typename P::Proof &proof,
+                const std::vector<typename P::Fr> &pub) {
+                 return verifyBn254(vk, proof, pub);
+             });
+}
+
+/**
+ * Retry Algorithm-1 weighted-point preprocessing with checkpoint
+ * resume: completed blocks survive a fault, so attempt k+1 restarts
+ * from the block the fault interrupted instead of from scratch. Same
+ * retry classification as the prover pipeline.
+ */
+template <typename Cfg>
+StatusOr<typename msm::GzkpMsm<Cfg>::Preprocessed>
+preprocessWithResume(const msm::GzkpMsm<Cfg> &engine,
+                     const std::vector<ec::AffinePoint<Cfg>> &points,
+                     std::size_t max_attempts = 3,
+                     std::size_t *attempts_used = nullptr)
+{
+    typename msm::GzkpMsm<Cfg>::PreprocessProgress progress;
+    Status last = internalError("msm.preprocess: no attempt executed");
+    for (std::size_t a = 0; a < max_attempts; ++a) {
+        if (attempts_used)
+            *attempts_used = a + 1;
+        auto r = statusGuard("msm.preprocess", [&] {
+            return engine.preprocessResumable(points, progress);
+        });
+        if (r.isOk())
+            return std::move(*r);
+        last = r.status();
+        if (!retryableStatus(last.code()))
+            return last;
+        faultsim::advanceEpoch();
+    }
+    return last.withContext("msm.preprocess: attempts exhausted");
+}
+
+} // namespace gzkp::zkp
+
+#endif // GZKP_ZKP_PROVER_PIPELINE_HH

@@ -164,10 +164,20 @@ deserializeProof(const std::string &text)
         throw std::invalid_argument("deserializeProof: bad header");
     std::string a, b, c;
     is >> a >> b >> c;
+    if (!is)
+        throw std::invalid_argument("deserializeProof: truncated");
     typename Groth16<Family>::Proof p;
     p.a = deserializePoint<typename Family::G1Cfg>(a);
     p.b = deserializePoint<typename Family::G2Cfg>(b);
     p.c = deserializePoint<typename Family::G1Cfg>(c);
+    // On-curve (checked per point above) is not enough for G2: its
+    // cofactor is large, so confinement to a small subgroup survives
+    // the curve equation. Reject anything outside the r-subgroup at
+    // the trust boundary.
+    if (!ec::inPrimeSubgroup(p.a) || !ec::inPrimeSubgroup(p.b) ||
+        !ec::inPrimeSubgroup(p.c))
+        throw std::invalid_argument(
+            "deserializeProof: point outside prime-order subgroup");
     return p;
 }
 

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Chaos suite for the fault-injection framework and the self-checking
+ * prover pipeline (ISSUE: robustness tentpole).
+ *
+ * The contract under test: a prover run under ANY fault plan ends in
+ * either a proof that verifies or a typed gzkp::Status error -- never
+ * a bad proof, never a crash, never a hang. Directed tests pin down
+ * each recovery mechanism (retry, epoch advance, backend demotion,
+ * checkpoint resume, cancellation); the ChaosSweep drives hundreds of
+ * seeded random plans through the same invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "testkit/chaos.hh"
+#include "testkit/testkit.hh"
+#include "zkp/prover_pipeline.hh"
+#include "zkp/serialize.hh"
+
+namespace {
+
+using namespace gzkp;
+using testkit::ChaosFixture;
+using testkit::chaosFixture;
+using testkit::deriveSeed;
+using testkit::Rng;
+using zkp::Bn254Family;
+using zkp::ProverBackend;
+using Prover = zkp::SelfCheckingProver<Bn254Family>;
+using G16 = zkp::Groth16<Bn254Family>;
+using Fr = ff::Bn254Fr;
+
+Prover::Options
+fastOptions()
+{
+    Prover::Options opt;
+    opt.maxAttemptsPerBackend = 2;
+    opt.threads = 2;
+    return opt;
+}
+
+StatusOr<G16::Proof>
+proveUnderPlan(const std::string &spec, Prover::Report *rep = nullptr,
+               Prover::Options opt = fastOptions())
+{
+    const ChaosFixture &fx = chaosFixture();
+    faultsim::ScopedFaultPlan guard(spec);
+    auto prover = zkp::makeBn254SelfCheckingProver(opt);
+    Rng rng(deriveSeed(99, 0));
+    return prover.prove(fx.keys.pk, fx.keys.vk, fx.builder.cs(),
+                        fx.builder.assignment(), rng, rep);
+}
+
+/**
+ * Acceptance gate: with an *empty* plan installed, every probe is a
+ * no-op that never touches data, so the pipeline's proof bytes must
+ * be identical to a run with no plan at all.
+ */
+TEST(Chaos, EmptyPlanByteIdentical)
+{
+    const ChaosFixture &fx = chaosFixture();
+    auto proveOnce = [&] {
+        Rng rng(deriveSeed(7, 0));
+        auto p = G16::prove(fx.keys.pk, fx.builder.cs(),
+                            fx.builder.assignment(), rng);
+        return zkp::serializeProof<Bn254Family>(p);
+    };
+    std::string bare = proveOnce();
+
+    faultsim::FaultPlan empty;
+    empty.seed = 123;
+    faultsim::ScopedFaultPlan guard(empty);
+    EXPECT_FALSE(faultsim::active());
+    std::string with_empty_plan = proveOnce();
+    EXPECT_EQ(bare, with_empty_plan);
+
+    // And through the full self-checking pipeline.
+    auto prover = zkp::makeBn254SelfCheckingProver(fastOptions());
+    Rng rng(deriveSeed(7, 0));
+    Prover::Report rep;
+    auto r = prover.prove(fx.keys.pk, fx.keys.vk, fx.builder.cs(),
+                          fx.builder.assignment(), rng, &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(bare, zkp::serializeProof<Bn254Family>(*r));
+    EXPECT_EQ(rep.attempts.size(), 1u);
+    EXPECT_EQ(rep.backendUsed, ProverBackend::Gzkp);
+    EXPECT_EQ(faultsim::firedCount(), 0u);
+}
+
+/** A limited launch fault is transient: fails once, retry succeeds. */
+TEST(Chaos, RecoversFromTransientLaunchFault)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=3;launch@msm.gzkp:1#1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(rep.succeeded);
+    EXPECT_EQ(rep.backendUsed, ProverBackend::Gzkp);
+    ASSERT_EQ(rep.attempts.size(), 2u);
+    EXPECT_EQ(rep.attempts[0].status.code(),
+              StatusCode::kUnavailable);
+    EXPECT_GE(rep.epochsAdvanced, 1u);
+}
+
+/** A limited allocation fault maps to kResourceExhausted + retry. */
+TEST(Chaos, RecoversFromTransientAllocFault)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=4;alloc@msm.gzkp:1#1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    ASSERT_EQ(rep.attempts.size(), 2u);
+    EXPECT_EQ(rep.attempts[0].status.code(),
+              StatusCode::kResourceExhausted);
+}
+
+/**
+ * Bucket corruption silently produces a wrong MSM result; the
+ * self-check must turn it into kDataLoss rather than release it.
+ */
+TEST(Chaos, SelfCheckCatchesBucketCorruption)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=5;bucket@msm.gzkp.bucket:1#1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    ASSERT_GE(rep.attempts.size(), 2u);
+    EXPECT_EQ(rep.attempts[0].status.code(), StatusCode::kDataLoss);
+}
+
+/**
+ * NTT-stage corruption yields valid group elements encoding a wrong
+ * proof -- only the cryptographic self-check (pairing verification)
+ * can catch it. The structural check alone must not be trusted here.
+ */
+TEST(Chaos, SelfCheckCatchesButterflyCorruption)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=6;butterfly@ntt.cpu:1#1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    ASSERT_GE(rep.attempts.size(), 2u);
+    EXPECT_EQ(rep.attempts[0].status.code(), StatusCode::kDataLoss);
+}
+
+/** Same for a soft error on the POLY-stage output vector h. */
+TEST(Chaos, SelfCheckCatchesPolyBitFlip)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=7;bitflip@groth16.poly.h:1#1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    ASSERT_GE(rep.attempts.size(), 2u);
+    EXPECT_EQ(rep.attempts[0].status.code(), StatusCode::kDataLoss);
+}
+
+/**
+ * A persistent fault confined to the GZKP engine forces demotion:
+ * the proof comes back from a lower tier.
+ */
+TEST(Chaos, PersistentGzkpFaultDemotesBackend)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=8;launch@msm.gzkp:1", &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(rep.backendUsed, ProverBackend::Bellperson);
+    ASSERT_GE(rep.attempts.size(), 3u);
+    EXPECT_EQ(rep.attempts[0].backend, ProverBackend::Gzkp);
+    EXPECT_EQ(rep.attempts[1].backend, ProverBackend::Gzkp);
+    EXPECT_EQ(rep.attempts[2].backend, ProverBackend::Bellperson);
+}
+
+/**
+ * A persistent fault at every site exhausts the whole chain: the
+ * caller gets the typed error, never a bad proof.
+ */
+TEST(Chaos, PersistentEverywhereYieldsTypedError)
+{
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=9;launch@*:1", &rep);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    // Two attempts on each of the three backends.
+    EXPECT_EQ(rep.attempts.size(), 6u);
+    EXPECT_FALSE(rep.succeeded);
+}
+
+/** Caller bugs are never retried, under a plan or not. */
+TEST(Chaos, InvalidWitnessIsNotRetried)
+{
+    const ChaosFixture &fx = chaosFixture();
+    faultsim::ScopedFaultPlan guard("seed=10;launch@msm.gzkp:1");
+    auto prover = zkp::makeBn254SelfCheckingProver(fastOptions());
+    Rng rng(deriveSeed(99, 1));
+    Prover::Report rep;
+    std::vector<Fr> bad_z(3, Fr::one()); // wrong size
+    auto r = prover.prove(fx.keys.pk, fx.keys.vk, fx.builder.cs(),
+                          bad_z, rng, &rep);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(rep.attempts.size(), 1u);
+}
+
+/** A pre-cancelled token stops before any attempt runs. */
+TEST(Chaos, CancellationStopsPipeline)
+{
+    runtime::CancelToken token;
+    token.cancel();
+    auto opt = fastOptions();
+    opt.cancel = &token;
+    Prover::Report rep;
+    auto r = proveUnderPlan("seed=11;launch@msm.gzkp:1", &rep, opt);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+    EXPECT_FALSE(rep.succeeded);
+}
+
+/** An already-expired deadline maps to kDeadlineExceeded. */
+TEST(Chaos, ExpiredDeadlineStopsPipeline)
+{
+    runtime::CancelToken token;
+    token.setTimeout(std::chrono::milliseconds(-1));
+    auto opt = fastOptions();
+    opt.cancel = &token;
+    auto r = proveUnderPlan("", nullptr, opt);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+/**
+ * Checkpoint/resume of Algorithm-1 preprocessing: a transient fault
+ * mid-preprocess costs one retry but not the completed blocks, and
+ * the resumed table computes the same MSM as a fault-free one.
+ */
+TEST(Chaos, PreprocessResumesFromCheckpoint)
+{
+    using Cfg = ec::Bn254G1Cfg;
+    auto in = testkit::msmInstance<Cfg>(48, testkit::ScalarMix::Dense,
+                                        2026);
+    msm::GzkpMsm<Cfg>::Options mo;
+    mo.threads = 2;
+    msm::GzkpMsm<Cfg> engine(mo);
+    auto expect = engine.run(in.points, in.scalars);
+
+    faultsim::ScopedFaultPlan guard(
+        "seed=12;launch@msm.gzkp.preprocess:1#1");
+    std::size_t attempts = 0;
+    auto pp = zkp::preprocessWithResume(engine, in.points, 3,
+                                        &attempts);
+    ASSERT_TRUE(pp.isOk()) << pp.status().toString();
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_EQ(engine.run(*pp, in.scalars), expect);
+}
+
+/** Persistent preprocess faults exhaust the bounded retries. */
+TEST(Chaos, PreprocessRetriesAreBounded)
+{
+    using Cfg = ec::Bn254G1Cfg;
+    auto in = testkit::msmInstance<Cfg>(16, testkit::ScalarMix::Dense,
+                                        2027);
+    msm::GzkpMsm<Cfg> engine;
+    faultsim::ScopedFaultPlan guard(
+        "seed=13;alloc@msm.gzkp.preprocess:1");
+    std::size_t attempts = 0;
+    auto pp = zkp::preprocessWithResume(engine, in.points, 3,
+                                        &attempts);
+    ASSERT_FALSE(pp.isOk());
+    EXPECT_EQ(pp.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(attempts, 3u);
+}
+
+/** GZKP_FAULTS environment wiring: parse + install + run + recover. */
+TEST(Chaos, EnvPlanRoundTrip)
+{
+    ASSERT_EQ(
+        setenv("GZKP_FAULTS", "seed=21;launch@msm.gzkp:1#1", 1), 0);
+    Status s = faultsim::installFromEnv();
+    ASSERT_TRUE(s.isOk()) << s.toString();
+    EXPECT_TRUE(faultsim::active());
+
+    const ChaosFixture &fx = chaosFixture();
+    auto prover = zkp::makeBn254SelfCheckingProver(fastOptions());
+    Rng rng(deriveSeed(99, 2));
+    Prover::Report rep;
+    auto r = prover.prove(fx.keys.pk, fx.keys.vk, fx.builder.cs(),
+                          fx.builder.assignment(), rng, &rep);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(rep.attempts.size(), 2u);
+
+    faultsim::clearPlan();
+    unsetenv("GZKP_FAULTS");
+}
+
+/**
+ * The sweep: >= 240 seeded random plans, every single one must end
+ * clean. Both terminal states must actually occur across the sweep,
+ * or the invariant would be vacuously satisfiable.
+ */
+TEST(Chaos, ChaosSweep)
+{
+    std::size_t proofs = 0, errors = 0, demoted = 0;
+    for (std::uint64_t seed = 1; seed <= 240; ++seed) {
+        auto plan = testkit::randomFaultPlan(seed);
+        auto out = testkit::runChaosPlan(plan, seed);
+        ASSERT_TRUE(out.clean())
+            << "seed " << seed << " plan \"" << plan.toString()
+            << "\": " << out.status.toString()
+            << (out.releasedBadProof ? " [RELEASED BAD PROOF]" : "");
+        if (out.proofOk) {
+            ++proofs;
+            if (out.report.backendUsed != ProverBackend::Gzkp)
+                ++demoted;
+        } else {
+            ++errors;
+        }
+    }
+    EXPECT_GT(proofs, 0u);
+    EXPECT_GT(errors, 0u);
+    EXPECT_GT(demoted, 0u);
+}
+
+/** The fuzz-registry fault target agrees with the direct sweep. */
+TEST(Chaos, FuzzFaultTargetSweep)
+{
+    testkit::FuzzReport rep;
+    for (std::uint64_t seed = 500; seed < 540; ++seed)
+        testkit::fuzzFaultInstance(seed, rep);
+    EXPECT_TRUE(rep.ok()) << rep.failures.size() << " failure(s), e.g. "
+                          << rep.failures[0].detail;
+}
+
+} // namespace

@@ -193,3 +193,20 @@ TEST(FpKnown, SqrtRejectsNonResidue)
     EXPECT_EQ(g.legendre(), -1);
     EXPECT_THROW(g.sqrt(), std::domain_error);
 }
+
+TYPED_TEST(FpTest, FromBigIntRejectsNonCanonical)
+{
+    // Documented precondition turned runtime check: a value >= p is
+    // a caller bug the field must reject, not silently mis-reduce.
+    using F = TypeParam;
+    using Repr = typename F::Repr;
+    EXPECT_THROW(F::fromBigInt(F::modulus()), std::invalid_argument);
+    Repr sum;
+    auto carry = Repr::add(F::modulus(), F::modulus(), sum);
+    if (!carry) // 2p fits the limb count: must also be rejected
+        EXPECT_THROW(F::fromBigInt(sum), std::invalid_argument);
+    // The maximal canonical value p-1 still round-trips.
+    Repr pm1;
+    Repr::sub(F::modulus(), Repr::one(), pm1);
+    EXPECT_EQ(F::fromBigInt(pm1).toBigInt(), pm1);
+}

@@ -205,3 +205,95 @@ TEST_F(Groth16Bn254, TrapdoorAndPairingVerifiersAgree)
     EXPECT_TRUE(td);
     EXPECT_TRUE(pr);
 }
+
+// --- Proof-point validation (subgroup/on-curve checks) ---
+
+namespace {
+
+/**
+ * An on-curve G2 point outside the prime-order subgroup. BN254's G2
+ * curve E'(Fp2) has a large cofactor, so a random curve point is
+ * outside the r-subgroup with overwhelming probability: walk x
+ * values, solve y^2 = x^3 + b' with the Fp2 square root, and keep
+ * the first point that fails r*P == 0.
+ */
+ec::AffinePoint<Bn254Family::G2Cfg>
+outOfSubgroupG2()
+{
+    using Cfg = Bn254Family::G2Cfg;
+    using F = Cfg::Field;
+    using Fq = F::Fq;
+    for (std::uint64_t k = 1; k < 1000; ++k) {
+        F x(Fq::fromUint64(k), Fq::fromUint64(3 * k + 1));
+        F rhs = x.squared() * x + Cfg::a() * x + Cfg::b();
+        F y;
+        try {
+            y = rhs.sqrt();
+        } catch (const std::domain_error &) {
+            continue; // non-residue: x is not on the curve
+        }
+        ec::AffinePoint<Cfg> p(x, y);
+        if (p.onCurve() && !ec::inPrimeSubgroup(p))
+            return p;
+    }
+    throw std::logic_error("no out-of-subgroup G2 point found");
+}
+
+} // namespace
+
+TEST_F(Groth16Bn254, VerifierRejectsOffCurveProofPoints)
+{
+    auto b = factorCircuit<Fr>(5, 11);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1]};
+    ASSERT_TRUE(verifyBn254(keys.vk, proof, pub));
+
+    using FqG1 = Bn254Family::G1Cfg::Field;
+    auto bad = proof;
+    bad.a = ec::AffinePoint<Bn254Family::G1Cfg>(FqG1::one(),
+                                                FqG1::one());
+    ASSERT_FALSE(bad.a.onCurve());
+    EXPECT_FALSE(verifyBn254(keys.vk, bad, pub));
+
+    using FqG2 = Bn254Family::G2Cfg::Field;
+    bad = proof;
+    bad.b = ec::AffinePoint<Bn254Family::G2Cfg>(FqG2::one(),
+                                                FqG2::one());
+    ASSERT_FALSE(bad.b.onCurve());
+    EXPECT_FALSE(verifyBn254(keys.vk, bad, pub));
+}
+
+TEST_F(Groth16Bn254, VerifierRejectsOutOfSubgroupG2)
+{
+    auto rogue = outOfSubgroupG2();
+    ASSERT_TRUE(rogue.onCurve());
+    ASSERT_FALSE(ec::inPrimeSubgroup(rogue));
+
+    auto b = factorCircuit<Fr>(5, 11);
+    auto keys = G16::setup(b.cs(), rng);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    std::vector<Fr> pub = {b.assignment()[1]};
+
+    // Small-subgroup confinement attempt: an on-curve B outside the
+    // r-subgroup must be rejected *before* any pairing is computed.
+    auto bad = proof;
+    bad.b = rogue;
+    EXPECT_FALSE(verifyBn254(keys.vk, bad, pub));
+}
+
+TEST_F(Groth16Bn254, G1SubgroupCheckMatchesOnCurve)
+{
+    // BN254 G1 has cofactor 1: every on-curve point is in the
+    // subgroup, and every off-curve point is rejected.
+    using Cfg = Bn254Family::G1Cfg;
+    auto g = G16::G1::generator();
+    EXPECT_TRUE(ec::inPrimeSubgroup(g.toAffine()));
+    EXPECT_TRUE(ec::inPrimeSubgroup(
+        g.mul(std::uint64_t(123456789)).toAffine()));
+    EXPECT_TRUE(
+        ec::inPrimeSubgroup(ec::AffinePoint<Cfg>::identity()));
+    using FqG1 = Cfg::Field;
+    EXPECT_FALSE(ec::inPrimeSubgroup(
+        ec::AffinePoint<Cfg>(FqG1::one(), FqG1::one())));
+}

@@ -95,3 +95,14 @@ TEST(NatNum, Bits)
     EXPECT_FALSE(v.bit(1000));
     EXPECT_EQ(v.numBits(), 16u);
 }
+
+TEST(NatNum, ShlRejectsAbsurdShift)
+{
+    // The shift count sizes the result allocation, so a corrupt or
+    // hostile count must be rejected before it becomes an unbounded
+    // allocation.
+    NatNum v(1);
+    EXPECT_THROW(v.shl(std::size_t(1) << 25), std::invalid_argument);
+    // Large-but-sane shifts still work.
+    EXPECT_EQ(v.shl(4096).numBits(), 4097u);
+}

@@ -18,6 +18,7 @@
 #include "ntt/ntt_batched.hh"
 #include "ntt/ntt_cpu.hh"
 #include "runtime/runtime.hh"
+#include "status/status.hh"
 #include "testkit/testkit.hh"
 #include "zkp/serialize.hh"
 
@@ -368,4 +369,96 @@ TEST(ParallelStats, GpuStatsAreThreadCountInvariant)
         EXPECT_EQ(bell(t).loadImbalanceFactor,
                   bbase.loadImbalanceFactor)
             << "t=" << t;
+}
+
+// --------------------------------------- cancellation and deadlines
+
+TEST(RuntimeCancel, CancelledTokenAbortsParallelForEarly)
+{
+    runtime::CancelToken tok;
+    tok.cancel();
+    runtime::CancelScope scope(&tok);
+    std::atomic<std::size_t> visited{0};
+    EXPECT_THROW(runtime::parallelFor(4, 10000,
+                                      [&](std::size_t) { ++visited; }),
+                 runtime::CancelledError);
+    // The region is aborted between chunks, not run to completion.
+    EXPECT_LT(visited.load(), 10000u);
+}
+
+TEST(RuntimeCancel, MidFlightCancelStopsWorkers)
+{
+    runtime::CancelToken tok;
+    runtime::CancelScope scope(&tok);
+    std::atomic<std::size_t> visited{0};
+    EXPECT_THROW(
+        runtime::parallelFor(4, 1u << 20,
+                             [&](std::size_t) {
+                                 if (++visited == 100)
+                                     tok.cancel();
+                             }),
+        runtime::CancelledError);
+    EXPECT_GE(visited.load(), 100u);
+    EXPECT_LT(visited.load(), 1u << 20);
+}
+
+TEST(RuntimeCancel, ExpiredDeadlineThrowsDeadlineExceeded)
+{
+    runtime::CancelToken tok;
+    tok.setTimeout(std::chrono::milliseconds(-1));
+    runtime::CancelScope scope(&tok);
+    EXPECT_TRUE(tok.expired());
+    EXPECT_THROW(runtime::parallelFor(2, 64, [](std::size_t) {}),
+                 runtime::DeadlineExceededError);
+}
+
+TEST(RuntimeCancel, StatusGuardMapsCancellationToTypedCodes)
+{
+    runtime::CancelToken tok;
+    tok.cancel();
+    runtime::CancelScope scope(&tok);
+    Status s = statusGuardVoid("region", [&] {
+        runtime::parallelFor(2, 64, [](std::size_t) {});
+    });
+    EXPECT_EQ(s.code(), StatusCode::kCancelled);
+
+    runtime::CancelToken dl;
+    dl.setTimeout(std::chrono::milliseconds(-1));
+    runtime::CancelScope scope2(&dl);
+    Status s2 = statusGuardVoid("region", [&] {
+        runtime::parallelFor(2, 64, [](std::size_t) {});
+    });
+    EXPECT_EQ(s2.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RuntimeCancel, WorkersInheritTheCallersToken)
+{
+    // parallelInvoke re-installs the ambient token on its workers, so
+    // a nested parallelFor inside a task still observes cancellation.
+    runtime::CancelToken tok;
+    runtime::CancelScope scope(&tok);
+    std::vector<std::function<void(std::size_t)>> tasks;
+    std::atomic<bool> sawCancel{false};
+    for (int j = 0; j < 4; ++j) {
+        tasks.push_back([&](std::size_t) {
+            tok.cancel();
+            try {
+                runtime::parallelFor(2, 256, [](std::size_t) {});
+            } catch (const runtime::CancelledError &) {
+                sawCancel = true;
+                throw;
+            }
+        });
+    }
+    EXPECT_THROW(runtime::parallelInvoke(4, tasks),
+                 runtime::CancelledError);
+    EXPECT_TRUE(sawCancel.load());
+}
+
+TEST(RuntimeCancel, NoTokenMeansNoOverheadOrThrow)
+{
+    EXPECT_EQ(runtime::currentCancelToken(), nullptr);
+    std::atomic<std::size_t> visited{0};
+    runtime::parallelFor(4, 1000, [&](std::size_t) { ++visited; });
+    EXPECT_EQ(visited.load(), 1000u);
 }

@@ -11,6 +11,7 @@
 
 #include "workload/builder.hh"
 #include "zkp/groth16_bn254.hh"
+#include "faultsim/faultsim.hh"
 #include "zkp/serialize.hh"
 
 using namespace gzkp;
@@ -218,4 +219,55 @@ TEST(Serialize, VerifyingKeyRejectsTruncation)
     auto cut = text.substr(0, text.size() / 2);
     EXPECT_THROW(deserializeVerifyingKey<Bn254Family>(cut),
                  std::exception);
+}
+
+// --- Fault-injected encoding robustness (faultsim-driven) ---
+
+TEST(Serialize, CorruptedElementStillRoundTripsCanonically)
+{
+    // faultsim's bit-flip keeps elements canonical (reduced below
+    // the modulus), so even a corrupted element must survive an
+    // encode/decode round-trip exactly: serialization never masks or
+    // mutates a soft error.
+    std::mt19937_64 rng(21);
+    for (std::uint64_t salt = 1; salt <= 64; ++salt) {
+        Fr x = Fr::random(rng);
+        faultsim::flipBit(x, salt * 0x9e3779b9ull);
+        EXPECT_EQ(deserializeField<Fr>(serializeField(x)), x);
+    }
+}
+
+TEST(Serialize, FaultSweepTruncationAndBitFlips)
+{
+    std::mt19937_64 rng(22);
+    workload::Builder<Fr> b(1);
+    auto keys = setupSmall(rng, b);
+    auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), rng);
+    auto text = serializeProof<Bn254Family>(proof);
+    std::vector<Fr> pub = {b.assignment()[1]};
+
+    // Seeded sweep of injected wire faults: every mutated buffer
+    // must either throw a typed std::exception at decode time, or
+    // decode to a proof that is byte-identical to the original or
+    // rejected by the verifier. No third outcome, no crash.
+    for (int i = 0; i < 200; ++i) {
+        auto mutated = text;
+        if (rng() % 2 == 0) {
+            mutated.resize(rng() % text.size()); // truncation fault
+        } else {
+            std::size_t pos = rng() % text.size();
+            mutated[pos] = char(mutated[pos] ^ (1u << (rng() % 7)));
+        }
+        if (mutated == text)
+            continue;
+        try {
+            auto back = deserializeProof<Bn254Family>(mutated);
+            bool same = back.a == proof.a && back.b == proof.b &&
+                back.c == proof.c;
+            EXPECT_TRUE(same || !verifyBn254(keys.vk, back, pub))
+                << "iteration " << i;
+        } catch (const std::exception &) {
+            // typed rejection is the expected common outcome
+        }
+    }
 }

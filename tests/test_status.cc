@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the structured-error layer (gzkp::Status,
+ * StatusOr, the early-return macros, and the exception bridge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "status/status.hh"
+
+namespace {
+
+using namespace gzkp;
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.toString(), "OK");
+    EXPECT_EQ(s, Status::ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    struct Case {
+        Status status;
+        StatusCode code;
+    };
+    const Case cases[] = {
+        {invalidArgumentError("m"), StatusCode::kInvalidArgument},
+        {failedPreconditionError("m"), StatusCode::kFailedPrecondition},
+        {outOfRangeError("m"), StatusCode::kOutOfRange},
+        {resourceExhaustedError("m"), StatusCode::kResourceExhausted},
+        {unavailableError("m"), StatusCode::kUnavailable},
+        {dataLossError("m"), StatusCode::kDataLoss},
+        {cancelledError("m"), StatusCode::kCancelled},
+        {deadlineExceededError("m"), StatusCode::kDeadlineExceeded},
+        {internalError("m"), StatusCode::kInternal},
+    };
+    for (const auto &c : cases) {
+        EXPECT_FALSE(c.status.isOk());
+        EXPECT_EQ(c.status.code(), c.code);
+        EXPECT_EQ(c.status.message(), "m");
+    }
+}
+
+TEST(Status, WithContextPrefixesStage)
+{
+    Status s = unavailableError("launch failed").withContext("msm.a");
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(s.message(), "msm.a: launch failed");
+    // OK statuses pass through untouched.
+    EXPECT_TRUE(Status::ok().withContext("x").isOk());
+}
+
+TEST(Status, EqualityIsCodeOnly)
+{
+    EXPECT_EQ(unavailableError("a"), unavailableError("b"));
+    EXPECT_NE(unavailableError("a"), dataLossError("a"));
+}
+
+TEST(StatusOr, ValueAndErrorPaths)
+{
+    StatusOr<int> ok = 42;
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(*ok, 42);
+    EXPECT_TRUE(ok.status().isOk());
+
+    StatusOr<int> bad = dataLossError("corrupt");
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+    EXPECT_THROW(bad.value(), StatusError);
+}
+
+TEST(StatusOr, OkStatusWithoutValueIsInternalError)
+{
+    StatusOr<int> wrong = Status::ok();
+    ASSERT_FALSE(wrong.isOk());
+    EXPECT_EQ(wrong.status().code(), StatusCode::kInternal);
+}
+
+Status
+returnIfErrorHelper(const Status &in, bool &reached_end)
+{
+    GZKP_RETURN_IF_ERROR(in);
+    reached_end = true;
+    return Status::ok();
+}
+
+TEST(StatusMacros, ReturnIfError)
+{
+    bool reached = false;
+    EXPECT_TRUE(returnIfErrorHelper(Status::ok(), reached).isOk());
+    EXPECT_TRUE(reached);
+
+    reached = false;
+    Status s = returnIfErrorHelper(unavailableError("x"), reached);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_FALSE(reached);
+}
+
+StatusOr<int>
+assignOrReturnHelper(StatusOr<int> a, StatusOr<int> b)
+{
+    int x = 0, y = 0;
+    GZKP_ASSIGN_OR_RETURN(x, a);
+    GZKP_ASSIGN_OR_RETURN(y, b);
+    return x + y;
+}
+
+TEST(StatusMacros, AssignOrReturn)
+{
+    auto sum = assignOrReturnHelper(2, 3);
+    ASSERT_TRUE(sum.isOk());
+    EXPECT_EQ(*sum, 5);
+
+    auto err = assignOrReturnHelper(2, resourceExhaustedError("oom"));
+    ASSERT_FALSE(err.isOk());
+    EXPECT_EQ(err.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StatusGuard, MapsExceptionsToTypedCodes)
+{
+    auto code_of = [](auto thrower) {
+        return statusGuardVoid("stage", thrower).code();
+    };
+    EXPECT_EQ(code_of([] { throw std::bad_alloc(); }),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(code_of([] { throw std::invalid_argument("x"); }),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(code_of([] { throw std::domain_error("x"); }),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(code_of([] { throw std::out_of_range("x"); }),
+              StatusCode::kOutOfRange);
+    EXPECT_EQ(code_of([] { throw std::underflow_error("x"); }),
+              StatusCode::kOutOfRange);
+    EXPECT_EQ(code_of([] { throw std::runtime_error("x"); }),
+              StatusCode::kInternal);
+    EXPECT_EQ(code_of([] { throw 17; }), StatusCode::kInternal);
+    EXPECT_EQ(code_of([] {
+        throw StatusError(dataLossError("self-check"));
+    }),
+              StatusCode::kDataLoss);
+}
+
+TEST(StatusGuard, AnnotatesStageAndPassesValues)
+{
+    auto ok = statusGuard("stage", [] { return std::string("v"); });
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(*ok, "v");
+
+    auto err = statusGuard("poly", [streams = 0]() -> int {
+        (void)streams;
+        throw StatusError(unavailableError("launch failed"));
+    });
+    ASSERT_FALSE(err.isOk());
+    EXPECT_EQ(err.status().message(), "poly: launch failed");
+}
+
+} // namespace

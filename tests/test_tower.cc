@@ -115,3 +115,68 @@ TEST_F(TowerTest, TowerLimbAccounting)
 {
     EXPECT_EQ(Bn254Fp2::kLimbs, 8u); // 2 x 4 limbs
 }
+
+// --- Fp2 quadratic-residue machinery (norm/legendre/sqrt) ---
+
+TEST_F(TowerTest, Fp2NormIsMultiplicative)
+{
+    for (int i = 0; i < 32; ++i) {
+        auto a = Bn254Fp2::random(rng);
+        auto b = Bn254Fp2::random(rng);
+        EXPECT_EQ((a * b).norm(), a.norm() * b.norm());
+    }
+}
+
+TEST_F(TowerTest, Fp2LegendreOfSquaresIsOne)
+{
+    EXPECT_EQ(Bn254Fp2::zero().legendre(), 0);
+    for (int i = 0; i < 32; ++i) {
+        auto a = Bn254Fp2::random(rng);
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a.squared().legendre(), 1);
+        // chi is multiplicative: chi(a^2 * b) == chi(b).
+        auto b = Bn254Fp2::random(rng);
+        if (!b.isZero())
+            EXPECT_EQ((a.squared() * b).legendre(), b.legendre());
+    }
+}
+
+TEST_F(TowerTest, Fp2SqrtRoundTrip)
+{
+    for (int i = 0; i < 48; ++i) {
+        auto a = Bn254Fp2::random(rng);
+        auto s = a.squared();
+        auto r = s.sqrt();
+        // sqrt returns one of the two roots.
+        EXPECT_TRUE(r == a || r == -a) << "iteration " << i;
+        EXPECT_EQ(r.squared(), s);
+    }
+    // Subfield embeddings (c1 == 0) round-trip too.
+    for (int i = 0; i < 16; ++i) {
+        Bn254Fp2 a(Bn254Fq::random(rng), Bn254Fq::zero());
+        auto r = a.squared().sqrt();
+        EXPECT_EQ(r.squared(), a.squared());
+    }
+}
+
+TEST_F(TowerTest, Fp2SqrtRejectsNonResidue)
+{
+    // A non-residue has legendre -1; sqrt must throw rather than
+    // return a wrong root.
+    std::size_t tested = 0;
+    for (int i = 0; i < 64 && tested < 8; ++i) {
+        auto a = Bn254Fp2::random(rng);
+        if (a.isZero() || a.legendre() != -1)
+            continue;
+        ++tested;
+        EXPECT_THROW(a.sqrt(), std::domain_error);
+    }
+    EXPECT_GT(tested, 0u);
+}
+
+TEST_F(TowerTest, Fp2SqrtZero)
+{
+    EXPECT_EQ(Bn254Fp2::zero().sqrt(), Bn254Fp2::zero());
+    EXPECT_EQ(Bn254Fp2::one().sqrt().squared(), Bn254Fp2::one());
+}

@@ -87,6 +87,19 @@ int
 replay(const Args &a)
 {
     testkit::FuzzReport rep;
+    // --kind=fault replays one chaos instance: the seeded fault plan
+    // is regenerated and driven through the self-checking prover.
+    // --size=N with N > 1 sweeps N consecutive plans (the CI smoke).
+    if (a.kind == "fault") {
+        std::size_t count =
+            a.replaySize > 1 ? std::size_t(a.replaySize) : 1;
+        std::printf("chaos: %zu plan(s) from --seed=%llu\n", count,
+                    (unsigned long long)a.seed);
+        for (std::size_t i = 0; i < count; ++i)
+            testkit::fuzzFaultInstance(a.seed + i, rep);
+        rep.iterations = count;
+        return report(rep);
+    }
     // --kind=proofdet replays a cross-thread-count proof-determinism
     // instance; it has no scalar mix or size.
     if (a.kind == "proofdet") {
@@ -139,10 +152,12 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: fuzz_driver [--iterations=N] [--seed=S] "
-                "[--seconds=T] [--max-size=N] [--only=msm|ntt|groth16] "
+                "[--seconds=T] [--max-size=N] "
+                "[--only=msm|ntt|groth16|fault] "
                 "[--verbose]\n       fuzz_driver --seed=S --size=N "
                 "--kind=K   (replay one instance; --kind=proofdet "
-                "replays a proof-determinism check)\n");
+                "replays a proof-determinism check; --kind=fault "
+                "sweeps N chaos plans)\n");
             return 2;
         }
     }
@@ -150,6 +165,14 @@ main(int argc, char **argv)
     // Any inconsistent KernelStats aborts the run instead of being
     // silently folded into a modeled time.
     gzkp::gpusim::setStrictInvariants(true);
+
+    // Honor an ambient GZKP_FAULTS plan; fault-target iterations
+    // install their own scoped plans on top and restore it after.
+    if (auto s = gzkp::faultsim::installFromEnv(); !s.isOk()) {
+        std::fprintf(stderr, "bad GZKP_FAULTS: %s\n",
+                     s.toString().c_str());
+        return 2;
+    }
 
     if (a.replaySize >= 0)
         return replay(a);
@@ -164,7 +187,10 @@ main(int argc, char **argv)
         opt.msm = a.only == "msm";
         opt.ntt = a.only == "ntt";
         opt.groth16 = a.only == "groth16";
+        opt.fault = a.only == "fault";
         opt.gpusim = opt.msm;
+        if (opt.fault)
+            opt.faultEvery = 1; // dedicated chaos sweep: every iter
     }
     return report(testkit::fuzzAll(opt));
 }
