@@ -92,6 +92,20 @@ class GzkpMsm
             return pre.size() * pt + std::uint64_t(n) * sc +
                 std::uint64_t(n) * windows * 8;
         }
+
+        /**
+         * Host-resident size of this table: the sum of its containers
+         * plus the fixed header. This is what the serving layer's
+         * ArtifactCache charges against its byte budget (unlike
+         * memoryBytes(), which models the *device* footprint of a
+         * whole MSM run, scalars and p_index included).
+         */
+        std::uint64_t
+        bytes() const
+        {
+            return std::uint64_t(sizeof(*this)) +
+                std::uint64_t(pre.size()) * sizeof(Affine);
+        }
     };
 
     explicit GzkpMsm(const Options &opt = Options(),

@@ -14,6 +14,7 @@
 #define GZKP_NTT_DOMAIN_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -79,6 +80,17 @@ class Domain
 
     /** Total unique twiddles (N - 1), the paper's storage bound. */
     std::size_t twiddleCount() const { return fwd_.size(); }
+
+    /**
+     * Host-resident size of the domain (twiddle tables + header);
+     * charged against the serving layer's artifact-cache budget.
+     */
+    std::uint64_t
+    bytes() const
+    {
+        return std::uint64_t(sizeof(*this)) +
+            std::uint64_t(fwd_.size() + inv_.size()) * sizeof(Fr);
+    }
 
   private:
     void

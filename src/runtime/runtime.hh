@@ -151,20 +151,39 @@ class CancelToken
                     std::chrono::duration_cast<Clock::duration>(timeout));
     }
 
+    /**
+     * Link this token to a parent (e.g. a request token to its
+     * service's shutdown token): the child reports cancelled/expired
+     * when either itself or any ancestor does. The parent must
+     * outlive the child; linking is one-shot-style configuration
+     * done before the token is shared, but the pointer is atomic so
+     * a concurrent check() never races it.
+     */
+    void
+    linkParent(const CancelToken *parent)
+    {
+        parent_.store(parent, std::memory_order_release);
+    }
+
     bool
     cancelled() const
     {
-        return cancelled_.load(std::memory_order_relaxed);
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        const CancelToken *p = parent_.load(std::memory_order_acquire);
+        return p != nullptr && p->cancelled();
     }
 
     bool
     expired() const
     {
         std::int64_t d = deadlineNs_.load(std::memory_order_relaxed);
-        if (d == kNoDeadline)
-            return false;
-        return Clock::now().time_since_epoch() >=
-            std::chrono::nanoseconds(d);
+        if (d != kNoDeadline &&
+            Clock::now().time_since_epoch() >=
+                std::chrono::nanoseconds(d))
+            return true;
+        const CancelToken *p = parent_.load(std::memory_order_acquire);
+        return p != nullptr && p->expired();
     }
 
     /** kOk, kCancelled, or kDeadlineExceeded. */
@@ -193,6 +212,7 @@ class CancelToken
 
     std::atomic<bool> cancelled_{false};
     std::atomic<std::int64_t> deadlineNs_{kNoDeadline};
+    std::atomic<const CancelToken *> parent_{nullptr};
 };
 
 /**

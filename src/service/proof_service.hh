@@ -1,0 +1,483 @@
+/**
+ * @file
+ * ProofService: a batched, multi-tenant, in-process proving service.
+ *
+ * Front end for many concurrent proof requests over a set of
+ * registered circuits, built from the pieces the rest of the tree
+ * already provides:
+ *
+ *  - admission control: a bounded request queue; submit() past the
+ *    high-watermark rejects with kResourceExhausted instead of
+ *    queueing unbounded work (backpressure the caller can see);
+ *  - shared artifacts: each batch resolves its circuit through the
+ *    ArtifactCache, so Algorithm-1 preprocessing and NTT twiddle
+ *    tables are paid once per circuit, not once per proof. A cache
+ *    miss-under-pressure (artifact larger than the whole budget)
+ *    downgrades to proving uncached -- never a failure;
+ *  - batching: the scheduler pops the oldest request and drags every
+ *    queued request for the *same circuit* (up to maxBatch) into the
+ *    batch, sharing one cache resolution across all of them;
+ *  - deadlines & cancellation: each request may carry a timeout; the
+ *    per-request CancelToken is parent-linked to the service-wide
+ *    shutdown token, so shutdownNow() stops every in-flight proof at
+ *    the next chunk boundary;
+ *  - self-checking proving: every proof goes through
+ *    SelfCheckingProver (structural + pairing self-check, bounded
+ *    retries, backend demotion), with the cached artifacts installed
+ *    on the GZKP tier only -- a poisoned cache entry demotes instead
+ *    of escaping;
+ *  - observability: stats() snapshots accepted/rejected/completed
+ *    counters, queue depths, per-stage latency totals, and the cache
+ *    counters.
+ *
+ * Determinism: the scheduler itself is sequential (one drain at a
+ * time); parallelism lives inside each proof via the deterministic
+ * runtime. Drained from a single thread, the cache hit/miss/eviction
+ * sequence and every proof byte are independent of GZKP_THREADS.
+ * Under concurrent submitters the *aggregate* stats are still
+ * deterministic (single-flight pins builds to one per circuit).
+ */
+
+#ifndef GZKP_SERVICE_PROOF_SERVICE_HH
+#define GZKP_SERVICE_PROOF_SERVICE_HH
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "service/artifact_cache.hh"
+#include "status/status.hh"
+#include "zkp/prover_pipeline.hh"
+
+namespace gzkp::service {
+
+/**
+ * The request RNG. Deliberately the same generator as the testkit's
+ * Rng so a seeded service request replays bit-identically against a
+ * direct SelfCheckingProver call with the same seed.
+ */
+using ProofRng = std::mt19937_64;
+
+template <typename Family>
+class ProofService
+{
+  public:
+    using G16 = zkp::Groth16<Family>;
+    using Fr = typename Family::Fr;
+    using Proof = typename G16::Proof;
+    using ProvingKey = typename G16::ProvingKey;
+    using VerifyingKey = typename G16::VerifyingKey;
+    using Prover = zkp::SelfCheckingProver<Family>;
+    using Verifier = typename Prover::Verifier;
+    using Cache = ArtifactCache<Family>;
+    using CircuitId = std::size_t;
+    using Clock = std::chrono::steady_clock;
+
+    struct Options {
+        /** Admission high-watermark: submit() rejects past this. */
+        std::size_t maxQueueDepth = 64;
+        /** Same-circuit requests coalesced per drain. */
+        std::size_t maxBatch = 8;
+        std::size_t threads = 0;       //!< 0 = GZKP_THREADS default
+        std::uint64_t cacheBytes = 0;  //!< 0 = GZKP_CACHE_BYTES default
+        std::size_t maxAttemptsPerBackend = 2;
+        std::size_t preprocessAttempts = 3;
+        bool selfCheck = true;
+    };
+
+    struct Request {
+        CircuitId circuit = 0;
+        std::vector<Fr> witness; //!< full assignment z (z[0] = 1)
+        std::uint64_t seed = 0;  //!< seeds the proof's (r, s) draw
+        /** 0 = no deadline; negative = already expired (tests). */
+        std::chrono::milliseconds timeout{0};
+    };
+
+    struct Result {
+        Status status;
+        std::optional<Proof> proof;
+        bool cacheHit = false;
+        bool cacheBypass = false; //!< proved uncached (miss under pressure)
+        zkp::ProverBackend backendUsed = zkp::ProverBackend::Gzkp;
+        double queueSeconds = 0;
+        double proveSeconds = 0;
+    };
+
+    struct Stats {
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t deadlineExpired = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t batchedRequests = 0;
+        std::uint64_t cacheBypasses = 0;
+        std::size_t queueDepth = 0;
+        std::size_t peakQueueDepth = 0;
+        double queueSecondsTotal = 0;
+        double buildSecondsTotal = 0;
+        double proveSecondsTotal = 0;
+        typename Cache::Stats cache;
+    };
+
+    explicit ProofService(Options opt = Options(),
+                          Verifier verifier = Verifier())
+        : opt_(opt), verifier_(std::move(verifier)), cache_(opt.cacheBytes)
+    {}
+
+    ~ProofService() { stop(); }
+
+    ProofService(const ProofService &) = delete;
+    ProofService &operator=(const ProofService &) = delete;
+
+    /**
+     * Register a circuit (proving/verifying key pair + constraint
+     * system). Returns the id submit() takes. Registration is
+     * append-only; ids stay valid for the service's lifetime.
+     */
+    CircuitId
+    registerCircuit(ProvingKey pk, VerifyingKey vk, zkp::R1cs<Fr> cs)
+    {
+        std::uint64_t hash = pkContentHash<Family>(pk);
+        std::lock_guard<std::mutex> lk(mu_);
+        circuits_.push_back(Circuit{std::move(pk), std::move(vk),
+                                    std::move(cs), hash});
+        return circuits_.size() - 1;
+    }
+
+    /**
+     * Admit a request. Returns the future that will carry its Result,
+     * or a typed rejection: kInvalidArgument for an unknown circuit /
+     * wrong witness size, kResourceExhausted past the queue
+     * high-watermark or on an injected "service.queue" fault.
+     */
+    StatusOr<std::future<Result>>
+    submit(Request req)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (req.circuit >= circuits_.size()) {
+            ++stats_.rejected;
+            return invalidArgumentError(
+                "service.submit: unknown circuit id " +
+                std::to_string(req.circuit));
+        }
+        if (req.witness.size() != circuits_[req.circuit].pk.numVars) {
+            ++stats_.rejected;
+            return invalidArgumentError(
+                "service.submit: witness size " +
+                std::to_string(req.witness.size()) + " != numVars " +
+                std::to_string(circuits_[req.circuit].pk.numVars));
+        }
+        if (queue_.size() >= opt_.maxQueueDepth) {
+            ++stats_.rejected;
+            return resourceExhaustedError(
+                "service.queue: depth " + std::to_string(queue_.size()) +
+                " at high-watermark " +
+                std::to_string(opt_.maxQueueDepth) + "; retry later");
+        }
+        // The queue fault sites: a failed enqueue allocation (alloc)
+        // or a failed dispatch (launch), indexed by admission order.
+        std::uint64_t idx = seq_++;
+        Status probe = statusGuardVoid("service.queue", [&] {
+            faultsim::checkAlloc("service.queue", idx);
+            faultsim::checkLaunch("service.queue", idx);
+        });
+        if (!probe.isOk()) {
+            ++stats_.rejected;
+            return probe;
+        }
+        Pending p;
+        p.circuit = req.circuit;
+        p.witness = std::move(req.witness);
+        p.seed = req.seed;
+        p.admitted = Clock::now();
+        if (req.timeout.count() != 0) {
+            p.hasDeadline = true;
+            p.deadline = p.admitted + req.timeout;
+        }
+        std::future<Result> fut = p.promise.get_future();
+        queue_.push_back(std::move(p));
+        ++stats_.accepted;
+        stats_.queueDepth = queue_.size();
+        stats_.peakQueueDepth =
+            std::max(stats_.peakQueueDepth, queue_.size());
+        cv_.notify_one();
+        return fut;
+    }
+
+    /**
+     * Process one batch synchronously on the calling thread: pop the
+     * oldest request, coalesce same-circuit requests behind it, one
+     * cache resolution, then prove each. Returns the number of
+     * requests completed (0 when the queue was empty).
+     */
+    std::size_t
+    drainOnce()
+    {
+        std::vector<Pending> batch;
+        const Circuit *circuit = nullptr;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (queue_.empty())
+                return 0;
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            CircuitId cid = batch.front().circuit;
+            for (auto it = queue_.begin();
+                 it != queue_.end() && batch.size() < opt_.maxBatch;) {
+                if (it->circuit == cid) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            circuit = &circuits_[cid]; // deque: stable under push_back
+            ++stats_.batches;
+            stats_.batchedRequests += batch.size();
+            stats_.queueDepth = queue_.size();
+        }
+
+        // One artifact resolution for the whole batch.
+        auto t0 = Clock::now();
+        bool hit = false;
+        typename Cache::ArtifactPtr art;
+        auto got = cache_.getOrBuild(
+            circuit->hash,
+            [&] {
+                return buildCircuitArtifacts<Family>(
+                    circuit->pk, circuit->hash, opt_.threads,
+                    opt_.preprocessAttempts);
+            },
+            &hit);
+        double build_s = seconds(Clock::now() - t0);
+        if (got.isOk())
+            art = std::move(*got);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stats_.buildSecondsTotal += build_s;
+        }
+
+        for (Pending &p : batch)
+            processOne(p, *circuit, art, hit);
+        return batch.size();
+    }
+
+    /** Drain until the queue is empty; total requests processed. */
+    std::size_t
+    drain()
+    {
+        std::size_t total = 0, n = 0;
+        while ((n = drainOnce()) != 0)
+            total += n;
+        return total;
+    }
+
+    /** Start the background scheduler thread (idempotent). */
+    void
+    start()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (worker_.joinable())
+            return;
+        stopping_ = false;
+        worker_ = std::thread([this] { workerLoop(); });
+    }
+
+    /**
+     * Graceful stop: the scheduler finishes everything already queued
+     * (fast when shutdownNow() cancelled them), then joins. No-op
+     * when the scheduler is not running.
+     */
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!worker_.joinable())
+                return;
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        worker_.join();
+        worker_ = std::thread();
+    }
+
+    /**
+     * Cancel everything: in-flight proofs stop at the next chunk
+     * boundary, queued requests resolve with kCancelled (their
+     * futures are always fulfilled, never abandoned).
+     */
+    void
+    shutdownNow()
+    {
+        shutdown_.cancel();
+        bool running;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            running = worker_.joinable();
+        }
+        if (running)
+            stop();
+        else
+            drain(); // flush queued promises with kCancelled
+    }
+
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Stats s = stats_;
+        s.queueDepth = queue_.size();
+        s.cache = cache_.stats();
+        return s;
+    }
+
+    Cache &cache() { return cache_; }
+
+  private:
+    struct Circuit {
+        ProvingKey pk;
+        VerifyingKey vk;
+        zkp::R1cs<Fr> cs;
+        std::uint64_t hash = 0;
+    };
+
+    struct Pending {
+        CircuitId circuit = 0;
+        std::vector<Fr> witness;
+        std::uint64_t seed = 0;
+        Clock::time_point admitted;
+        bool hasDeadline = false;
+        Clock::time_point deadline;
+        std::promise<Result> promise;
+    };
+
+    static double
+    seconds(Clock::duration d)
+    {
+        return std::chrono::duration<double>(d).count();
+    }
+
+    void
+    processOne(Pending &p, const Circuit &c,
+               const typename Cache::ArtifactPtr &art, bool hit)
+    {
+        Result res;
+        res.cacheHit = hit && art != nullptr;
+        res.cacheBypass = art == nullptr;
+        auto start = Clock::now();
+        res.queueSeconds = seconds(start - p.admitted);
+
+        runtime::CancelToken token;
+        token.linkParent(&shutdown_);
+        if (p.hasDeadline)
+            token.setDeadline(p.deadline);
+
+        typename Prover::Options popt;
+        popt.maxAttemptsPerBackend = opt_.maxAttemptsPerBackend;
+        popt.threads = opt_.threads;
+        popt.selfCheck = opt_.selfCheck;
+        popt.cancel = &token;
+        if (art) {
+            popt.artifacts = &art->msm;
+            popt.domain = &art->domain;
+        }
+        Prover prover(popt, verifier_);
+        typename Prover::Report rep;
+        ProofRng rng(p.seed);
+        StatusOr<Proof> r =
+            prover.prove(c.pk, c.vk, c.cs, p.witness, rng, &rep);
+        res.proveSeconds = seconds(Clock::now() - start);
+        res.backendUsed = rep.backendUsed;
+        if (r.isOk())
+            res.proof = std::move(*r);
+        else
+            res.status = r.status();
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (res.status.isOk()) {
+                ++stats_.completed;
+            } else {
+                ++stats_.failed;
+                if (res.status.code() == StatusCode::kDeadlineExceeded)
+                    ++stats_.deadlineExpired;
+                if (res.status.code() == StatusCode::kCancelled)
+                    ++stats_.cancelled;
+            }
+            if (res.cacheBypass)
+                ++stats_.cacheBypasses;
+            stats_.queueSecondsTotal += res.queueSeconds;
+            stats_.proveSecondsTotal += res.proveSeconds;
+        }
+        p.promise.set_value(std::move(res));
+    }
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty() && stopping_)
+                return;
+            lk.unlock();
+            drainOnce();
+            lk.lock();
+        }
+    }
+
+    Options opt_;
+    Verifier verifier_;
+    Cache cache_;
+    runtime::CancelToken shutdown_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Circuit> circuits_; //!< deque: references stay valid
+    std::deque<Pending> queue_;
+    std::uint64_t seq_ = 0;
+    bool stopping_ = false;
+    std::thread worker_;
+    Stats stats_;
+};
+
+/** The BN254 verifier callback for the service's self-check. */
+inline typename zkp::SelfCheckingProver<zkp::Bn254Family>::Verifier
+bn254ServiceVerifier()
+{
+    using P = zkp::SelfCheckingProver<zkp::Bn254Family>;
+    return [](const typename P::VerifyingKey &vk,
+              const typename P::Proof &proof,
+              const std::vector<typename P::Fr> &pub) {
+        return zkp::verifyBn254(vk, proof, pub);
+    };
+}
+
+/**
+ * The production configuration: a BN254 service whose self-check is
+ * the real pairing verifier. (unique_ptr because the service owns a
+ * mutex and a thread and is therefore immovable.)
+ */
+inline std::unique_ptr<ProofService<zkp::Bn254Family>>
+makeBn254ProofService(
+    typename ProofService<zkp::Bn254Family>::Options opt = {})
+{
+    return std::make_unique<ProofService<zkp::Bn254Family>>(
+        opt, bn254ServiceVerifier());
+}
+
+} // namespace gzkp::service
+
+#endif // GZKP_SERVICE_PROOF_SERVICE_HH

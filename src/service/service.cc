@@ -1,0 +1,61 @@
+#include "service/artifact_cache.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+namespace gzkp::service {
+
+namespace {
+/** 0 = unresolved; re-read GZKP_CACHE_BYTES on the next call. */
+std::atomic<std::uint64_t> g_default_cache_bytes{0};
+} // namespace
+
+std::uint64_t
+parseCacheBytesSpec(const char *spec)
+{
+    if (spec == nullptr || *spec == '\0')
+        return 0;
+    if (!std::isdigit(static_cast<unsigned char>(*spec)))
+        return 0; // strtoull would silently accept "-1"
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(spec, &end, 10);
+    if (end == spec || v == 0)
+        return 0;
+    std::uint64_t mult = 1;
+    if (*end != '\0') {
+        switch (std::tolower(static_cast<unsigned char>(*end))) {
+        case 'k': mult = 1ull << 10; break;
+        case 'm': mult = 1ull << 20; break;
+        case 'g': mult = 1ull << 30; break;
+        default: return 0;
+        }
+        if (end[1] != '\0')
+            return 0;
+    }
+    if (v > ~std::uint64_t(0) / mult)
+        return 0; // overflow
+    return std::uint64_t(v) * mult;
+}
+
+std::uint64_t
+defaultCacheBytes()
+{
+    std::uint64_t cur =
+        g_default_cache_bytes.load(std::memory_order_relaxed);
+    if (cur != 0)
+        return cur;
+    std::uint64_t v = parseCacheBytesSpec(std::getenv("GZKP_CACHE_BYTES"));
+    if (v == 0)
+        v = kDefaultCacheBytes;
+    g_default_cache_bytes.store(v, std::memory_order_relaxed);
+    return v;
+}
+
+void
+setDefaultCacheBytes(std::uint64_t bytes)
+{
+    g_default_cache_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+} // namespace gzkp::service

@@ -20,6 +20,8 @@
  *    retried -- an invalid proof is NEVER returned as a value.
  *  - kCancelled / kDeadlineExceeded: cooperative cancellation
  *    (runtime::CancelToken); never retried.
+ *  - kNotFound: a keyed lookup (e.g. the serving layer's artifact
+ *    cache) has no entry; the caller decides whether to build one.
  *  - kInternal: an unclassified exception escaped a stage.
  *
  * StatusError is the bridge between the two worlds: a std::exception
@@ -45,6 +47,7 @@ enum class StatusCode {
     kInvalidArgument,
     kFailedPrecondition,
     kOutOfRange,
+    kNotFound,
     kResourceExhausted,
     kUnavailable,
     kDataLoss,
@@ -61,6 +64,7 @@ statusCodeName(StatusCode c)
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDataLoss: return "DATA_LOSS";
@@ -128,6 +132,11 @@ inline Status
 outOfRangeError(std::string msg)
 {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status
+notFoundError(std::string msg)
+{
+    return Status(StatusCode::kNotFound, std::move(msg));
 }
 inline Status
 resourceExhaustedError(std::string msg)

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "faultsim/faultsim.hh"
+#include "service/proof_service.hh"
 #include "testkit/generators.hh"
 #include "testkit/rng.hh"
 #include "zkp/groth16_bn254.hh"
@@ -176,6 +177,130 @@ runChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed)
     } else {
         out.status = r.status();
     }
+    return out;
+}
+
+// ------------------------------------------------------ service chaos
+
+/**
+ * The serving layer's probe sites plus the prover vocabulary. A
+ * separate list (rather than extending chaosSites()) so the existing
+ * prover sweep keeps generating the exact plans it always has for a
+ * given seed.
+ */
+inline const std::vector<std::string> &
+serviceChaosSites()
+{
+    static const std::vector<std::string> sites = [] {
+        std::vector<std::string> s = chaosSites();
+        s.push_back("service.queue");
+        s.push_back("service.cache.build");
+        s.push_back("service.cache.table");
+        s.push_back("service.cache");
+        s.push_back("service");
+        return s;
+    }();
+    return sites;
+}
+
+/** randomFaultPlan() over the service site vocabulary. */
+inline faultsim::FaultPlan
+randomServiceFaultPlan(std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, 0x5FA));
+    faultsim::FaultPlan plan;
+    plan.seed = deriveSeed(seed, 0x5FB);
+    if (seed % 16 == 0)
+        return plan;
+    std::size_t arms = 1 + rng() % 3;
+    static const std::uint64_t periods[] = {1, 1, 2, 3, 5, 17, 64};
+    static const std::uint64_t limits[] = {0, 0, 1, 1, 2, 5};
+    const auto &sites = serviceChaosSites();
+    for (std::size_t i = 0; i < arms; ++i) {
+        faultsim::FaultArm arm;
+        arm.kind =
+            faultsim::FaultKind(rng() % faultsim::kFaultKindCount);
+        arm.site = sites[rng() % sites.size()];
+        arm.period = periods[rng() % (sizeof(periods) /
+                                      sizeof(periods[0]))];
+        arm.limit =
+            limits[rng() % (sizeof(limits) / sizeof(limits[0]))];
+        plan.arms.push_back(arm);
+    }
+    return plan;
+}
+
+/** What one service chaos run ended as, over all its requests. */
+struct ServiceChaosOutcome {
+    std::size_t proofsOk = 0;     //!< released AND independently verified
+    std::size_t typedErrors = 0;  //!< completed with a non-OK Status
+    std::size_t rejectedAtQueue = 0; //!< submit() itself rejected
+    /** The one forbidden outcome (see ChaosOutcome). */
+    bool releasedBadProof = false;
+    std::uint64_t fires = 0;
+
+    /** The chaos invariant, lifted to the whole request set. */
+    bool clean() const { return !releasedBadProof; }
+};
+
+/**
+ * Run a ProofService end to end under `plan`: register the chaos
+ * circuit, submit `requests` seeded requests (the plan is live for
+ * the whole run, so queue admission, the cache build under
+ * single-flight, the cached tables, and every proof attempt are all
+ * in the blast radius), drain synchronously, and classify every
+ * result. Released proofs are re-verified with the independent
+ * pairing verifier, exactly as runChaosPlan() does.
+ */
+inline ServiceChaosOutcome
+runServiceChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed,
+                    std::size_t requests = 4)
+{
+    using Service = service::ProofService<zkp::Bn254Family>;
+    const ChaosFixture &fx = chaosFixture();
+    ServiceChaosOutcome out;
+
+    faultsim::ScopedFaultPlan guard(plan);
+    typename Service::Options opt;
+    opt.maxAttemptsPerBackend = 2;
+    opt.threads = 2;
+    opt.maxQueueDepth = requests;
+    opt.cacheBytes = 64ull << 20;
+    auto svc = service::makeBn254ProofService(opt);
+    auto cid = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                    fx.builder.cs());
+
+    std::vector<std::future<typename Service::Result>> futures;
+    for (std::size_t i = 0; i < requests; ++i) {
+        typename Service::Request req;
+        req.circuit = cid;
+        req.witness = fx.builder.assignment();
+        req.seed = deriveSeed(seed, 0xFC00 + i);
+        auto admitted = svc->submit(std::move(req));
+        if (!admitted.isOk()) {
+            ++out.rejectedAtQueue;
+            continue;
+        }
+        futures.push_back(std::move(*admitted));
+    }
+    svc->drain();
+
+    for (auto &f : futures) {
+        typename Service::Result res = f.get();
+        if (res.status.isOk() && res.proof.has_value()) {
+            if (zkp::verifyBn254(fx.keys.vk, *res.proof,
+                                 fx.publicInputs))
+                ++out.proofsOk;
+            else
+                out.releasedBadProof = true;
+        } else if (!res.status.isOk()) {
+            ++out.typedErrors;
+        } else {
+            // OK status without a proof is also a contract violation.
+            out.releasedBadProof = true;
+        }
+    }
+    out.fires = faultsim::firedCount();
     return out;
 }
 

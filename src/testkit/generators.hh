@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ec/point.hh"
@@ -231,6 +232,40 @@ randomCircuit(std::uint64_t seed, std::size_t constraints = 24)
     double bool_frac = double(rng() % 70) / 100.0;
     return workload::makeSyntheticCircuit<Fr>(constraints, bool_frac,
                                               rng);
+}
+
+// ----------------------------------------------------- service traces
+
+/** One request of a synthetic multi-tenant service trace. */
+struct TraceEntry {
+    std::size_t circuit = 0;  //!< tenant/circuit index in [0, circuits)
+    std::uint64_t seed = 0;   //!< per-request proof seed
+};
+
+/**
+ * A seeded multi-tenant trace: `per_circuit` requests for each of
+ * `circuits` tenants, in a deterministically shuffled arrival order.
+ * Same (circuits, per_circuit, seed) always yields the same trace --
+ * the service tests and the service driver replay identical load from
+ * a single integer.
+ */
+inline std::vector<TraceEntry>
+serviceTrace(std::size_t circuits, std::size_t per_circuit,
+             std::uint64_t seed)
+{
+    std::vector<TraceEntry> trace;
+    trace.reserve(circuits * per_circuit);
+    for (std::size_t c = 0; c < circuits; ++c)
+        for (std::size_t i = 0; i < per_circuit; ++i)
+            trace.push_back(
+                TraceEntry{c, deriveSeed(seed, c * 0x10000 + i)});
+    // Fisher-Yates with the testkit Rng: the arrival order is a pure
+    // function of the trace parameters, never of std::shuffle's
+    // implementation-defined behaviour.
+    Rng rng(deriveSeed(seed, 0x7ACE));
+    for (std::size_t i = trace.size(); i > 1; --i)
+        std::swap(trace[i - 1], trace[rng() % i]);
+    return trace;
 }
 
 } // namespace gzkp::testkit

@@ -285,6 +285,181 @@ class Groth16
     }
 
     /**
+     * The reusable per-circuit MSM artifacts: Algorithm-1 weighted-
+     * point tables for all five proving-key queries. A proving key
+     * never changes per application (Section 4.1), so these are the
+     * dominant one-time cost the serving layer amortizes across
+     * proofs -- build once (preprocessMsm() here, or
+     * buildMsmArtifacts() in prover_pipeline.hh for the
+     * checkpoint/resume variant), then hand the same tables to every
+     * proveWithArtifacts() call for that circuit.
+     */
+    struct MsmArtifacts {
+        using G1Pre =
+            typename msm::GzkpMsm<typename Family::G1Cfg>::Preprocessed;
+        using G2Pre =
+            typename msm::GzkpMsm<typename Family::G2Cfg>::Preprocessed;
+
+        G1Pre a;  //!< aQuery table (MSM 1)
+        G2Pre b2; //!< b2Query table (MSM 2)
+        G1Pre b1; //!< b1Query table (MSM 3)
+        G1Pre l;  //!< lQuery table (MSM 4)
+        G1Pre h;  //!< hQuery table (MSM 5)
+
+        /** Matches this proving key's query shapes? */
+        bool
+        matches(const ProvingKey &pk) const
+        {
+            return a.n == pk.aQuery.size() &&
+                b2.n == pk.b2Query.size() &&
+                b1.n == pk.b1Query.size() &&
+                l.n == pk.lQuery.size() && h.n == pk.hQuery.size();
+        }
+
+        /** Sum of the five tables' host footprints (cache budget). */
+        std::uint64_t
+        bytes() const
+        {
+            return a.bytes() + b2.bytes() + b1.bytes() + l.bytes() +
+                h.bytes();
+        }
+    };
+
+    /** One-time Algorithm-1 preprocessing of all five MSM queries. */
+    static MsmArtifacts
+    preprocessMsm(const ProvingKey &pk, std::size_t threads = 0)
+    {
+        typename msm::GzkpMsm<typename Family::G1Cfg>::Options o1;
+        o1.threads = threads;
+        typename msm::GzkpMsm<typename Family::G2Cfg>::Options o2;
+        o2.threads = threads;
+        msm::GzkpMsm<typename Family::G1Cfg> e1(o1);
+        msm::GzkpMsm<typename Family::G2Cfg> e2(o2);
+        MsmArtifacts art;
+        art.a = e1.preprocess(pk.aQuery);
+        art.b2 = e2.preprocess(pk.b2Query);
+        art.b1 = e1.preprocess(pk.b1Query);
+        art.l = e1.preprocess(pk.lQuery);
+        art.h = e1.preprocess(pk.hQuery);
+        return art;
+    }
+
+    /**
+     * prove() over cached MSM artifacts and a cached NTT domain: the
+     * GZKP engine's run() phase only, with Algorithm-1 preprocessing
+     * and twiddle construction skipped entirely. Preprocessing is a
+     * pure deterministic function of the key, so for the same rng
+     * stream the returned proof is byte-identical to
+     * prove<GzkpMsmPolicy>() rebuilding the tables from scratch --
+     * the property the warm-cache serving tests pin down.
+     */
+    template <typename NttEngine = CpuNttEngine<Fr>, typename Rng>
+    static Proof
+    proveWithArtifacts(const ProvingKey &pk, const R1cs<Fr> &cs,
+                       const std::vector<Fr> &z, Rng &rng,
+                       const MsmArtifacts &art,
+                       const ntt::Domain<Fr> &dom,
+                       ProofAux *aux = nullptr,
+                       const NttEngine &ntt_engine = NttEngine(),
+                       std::size_t threads = 0)
+    {
+        if (z.size() != pk.numVars)
+            throw std::invalid_argument("Groth16::prove: bad witness");
+        if (dom.logSize() != pk.domainLog)
+            throw std::invalid_argument(
+                "Groth16::proveWithArtifacts: domain mismatch");
+        if (!art.matches(pk))
+            throw std::invalid_argument(
+                "Groth16::proveWithArtifacts: artifacts do not match "
+                "proving key");
+
+        // --- POLY stage: identical to prove(). ---
+        auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
+        h.resize(pk.hQuery.size());
+        faultsim::maybeCorruptElement(faultsim::FaultKind::BitFlip,
+                                      h.data(), h.size(),
+                                      "groth16.poly.h", 0);
+
+        Fr r = Fr::random(rng);
+        Fr s = Fr::random(rng);
+        if (aux) {
+            aux->r = r;
+            aux->s = s;
+        }
+
+        // --- MSM stage over the preprocessed tables. ---
+        std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
+                                    z.end());
+        G1 msm_a, msm_b1, msm_l, msm_h;
+        G2 msm_b2;
+        runtime::parallelInvoke(
+            threads,
+            {
+                [&](std::size_t t) {
+                    msm_a = runPreprocessedG1(art.a, z, t);
+                },
+                [&](std::size_t t) {
+                    msm_b2 = runPreprocessedG2(art.b2, z, t);
+                },
+                [&](std::size_t t) {
+                    msm_b1 = runPreprocessedG1(art.b1, z, t);
+                },
+                [&](std::size_t t) {
+                    msm_l = runPreprocessedG1(art.l, aux_scalars, t);
+                },
+                [&](std::size_t t) {
+                    msm_h = runPreprocessedG1(art.h, h, t);
+                },
+            });
+
+        G1 a_pt = G1::fromAffine(pk.alphaG1) + msm_a +
+            G1::fromAffine(pk.deltaG1).mul(r);
+        G2 b2_pt = G2::fromAffine(pk.betaG2) + msm_b2 +
+            G2::fromAffine(pk.deltaG2).mul(s);
+        G1 b1_pt = G1::fromAffine(pk.betaG1) + msm_b1 +
+            G1::fromAffine(pk.deltaG1).mul(s);
+        G1 c_pt = msm_l + msm_h + a_pt.mul(s) + b1_pt.mul(r) -
+            G1::fromAffine(pk.deltaG1).mul(r * s);
+
+        Proof p;
+        p.a = a_pt.toAffine();
+        p.b = b2_pt.toAffine();
+        p.c = c_pt.toAffine();
+        return p;
+    }
+
+    /** Status-returning proveWithArtifacts(); see proveChecked(). */
+    template <typename NttEngine = CpuNttEngine<Fr>, typename Rng>
+    static StatusOr<Proof>
+    proveCheckedWithArtifacts(const ProvingKey &pk, const R1cs<Fr> &cs,
+                              const std::vector<Fr> &z, Rng &rng,
+                              const MsmArtifacts &art,
+                              const ntt::Domain<Fr> &dom,
+                              ProofAux *aux = nullptr,
+                              const NttEngine &ntt_engine = NttEngine(),
+                              std::size_t threads = 0)
+    {
+        if (pk.numVars == 0 || pk.aQuery.size() != pk.numVars)
+            return failedPreconditionError(
+                "groth16.prove: malformed proving key");
+        if (!art.matches(pk) || dom.logSize() != pk.domainLog)
+            return failedPreconditionError(
+                "groth16.prove: artifacts do not match proving key");
+        if (z.size() != pk.numVars)
+            return invalidArgumentError(
+                "groth16.prove: witness size " +
+                std::to_string(z.size()) + " != numVars " +
+                std::to_string(pk.numVars));
+        if (!z.empty() && z[0] != Fr::one())
+            return invalidArgumentError(
+                "groth16.prove: witness z[0] must be 1");
+        return statusGuard("groth16.prove", [&] {
+            return proveWithArtifacts<NttEngine>(
+                pk, cs, z, rng, art, dom, aux, ntt_engine, threads);
+        });
+    }
+
+    /**
      * Status-returning prove(): validates arguments up front and
      * converts any exception escaping the two prover stages --
      * injected faults, allocation failure, cooperative cancellation
@@ -364,6 +539,29 @@ class Groth16
     }
 
   private:
+    /**
+     * run() over a cached table with the exact engine configuration
+     * GzkpMsmPolicy would build (Options defaults + thread share), so
+     * warm and cold paths compute bit-identical points.
+     */
+    static G1
+    runPreprocessedG1(const typename MsmArtifacts::G1Pre &pp,
+                      const std::vector<Fr> &scalars, std::size_t t)
+    {
+        typename msm::GzkpMsm<typename Family::G1Cfg>::Options o;
+        o.threads = t;
+        return msm::GzkpMsm<typename Family::G1Cfg>(o).run(pp, scalars);
+    }
+
+    static G2
+    runPreprocessedG2(const typename MsmArtifacts::G2Pre &pp,
+                      const std::vector<Fr> &scalars, std::size_t t)
+    {
+        typename msm::GzkpMsm<typename Family::G2Cfg>::Options o;
+        o.threads = t;
+        return msm::GzkpMsm<typename Family::G2Cfg>(o).run(pp, scalars);
+    }
+
     template <typename Rng>
     static Fr
     nonzeroRandom(Rng &rng)

@@ -125,6 +125,17 @@ class SelfCheckingProver
         std::size_t threads = 0; //!< 0 = GZKP_THREADS default
         bool selfCheck = true;
         runtime::CancelToken *cancel = nullptr;
+        /**
+         * Cached per-circuit artifacts (serving layer). When both are
+         * set, the GZKP backend proves over the cached tables/domain
+         * instead of re-preprocessing -- byte-identical proofs, see
+         * Groth16::proveWithArtifacts(). The fallback tiers ignore
+         * them, so demotion still works when the cached tables are
+         * themselves corrupted (they are then effectively a
+         * persistent GZKP-tier fault). Both must outlive prove().
+         */
+        const typename G::MsmArtifacts *artifacts = nullptr;
+        const ntt::Domain<Fr> *domain = nullptr;
     };
 
     struct Attempt {
@@ -223,6 +234,10 @@ class SelfCheckingProver
     {
         switch (backend) {
         case ProverBackend::Gzkp:
+            if (opt_.artifacts && opt_.domain)
+                return G::proveCheckedWithArtifacts(
+                    pk, cs, z, rng, *opt_.artifacts, *opt_.domain,
+                    nullptr, CpuNttEngine<Fr>(), opt_.threads);
             return G::template proveChecked<GzkpMsmPolicy>(
                 pk, cs, z, rng, nullptr, CpuNttEngine<Fr>(),
                 opt_.threads);
@@ -319,6 +334,40 @@ preprocessWithResume(const msm::GzkpMsm<Cfg> &engine,
         faultsim::advanceEpoch();
     }
     return last.withContext("msm.preprocess: attempts exhausted");
+}
+
+/**
+ * Build the full per-circuit artifact set (all five Algorithm-1
+ * tables) with checkpoint/resume on every query. This is the builder
+ * the serving layer's ArtifactCache runs under single-flight: one
+ * faulted query block costs a resumed retry, not the whole set.
+ */
+template <typename Family>
+StatusOr<typename Groth16<Family>::MsmArtifacts>
+buildMsmArtifacts(const typename Groth16<Family>::ProvingKey &pk,
+                  std::size_t threads = 0,
+                  std::size_t max_attempts = 3)
+{
+    using G1Cfg = typename Family::G1Cfg;
+    using G2Cfg = typename Family::G2Cfg;
+    typename msm::GzkpMsm<G1Cfg>::Options o1;
+    o1.threads = threads;
+    typename msm::GzkpMsm<G2Cfg>::Options o2;
+    o2.threads = threads;
+    msm::GzkpMsm<G1Cfg> e1(o1);
+    msm::GzkpMsm<G2Cfg> e2(o2);
+    typename Groth16<Family>::MsmArtifacts art;
+    GZKP_ASSIGN_OR_RETURN(
+        art.a, preprocessWithResume(e1, pk.aQuery, max_attempts));
+    GZKP_ASSIGN_OR_RETURN(
+        art.b2, preprocessWithResume(e2, pk.b2Query, max_attempts));
+    GZKP_ASSIGN_OR_RETURN(
+        art.b1, preprocessWithResume(e1, pk.b1Query, max_attempts));
+    GZKP_ASSIGN_OR_RETURN(
+        art.l, preprocessWithResume(e1, pk.lQuery, max_attempts));
+    GZKP_ASSIGN_OR_RETURN(
+        art.h, preprocessWithResume(e1, pk.hQuery, max_attempts));
+    return art;
 }
 
 } // namespace gzkp::zkp

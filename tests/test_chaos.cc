@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 
 #include "testkit/chaos.hh"
 #include "testkit/testkit.hh"
@@ -315,6 +316,137 @@ TEST(Chaos, ChaosSweep)
     EXPECT_GT(proofs, 0u);
     EXPECT_GT(errors, 0u);
     EXPECT_GT(demoted, 0u);
+}
+
+// ------------------------------------------------- serving layer chaos
+
+using Service = service::ProofService<Bn254Family>;
+
+std::unique_ptr<Service>
+makeChaosService(std::size_t max_batch = 1)
+{
+    Service::Options opt;
+    opt.maxAttemptsPerBackend = 2;
+    opt.threads = 2;
+    opt.maxBatch = max_batch;
+    return service::makeBn254ProofService(opt);
+}
+
+/**
+ * A persistent queue fault rejects every admission with the typed
+ * kResourceExhausted -- backpressure, not a crash, and nothing
+ * reaches the prover.
+ */
+TEST(ServiceChaos, QueueFaultRejectsTyped)
+{
+    const ChaosFixture &fx = chaosFixture();
+    faultsim::ScopedFaultPlan guard("seed=30;alloc@service.queue:1");
+    auto svc = makeChaosService();
+    auto id = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                   fx.builder.cs());
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        Service::Request req;
+        req.circuit = id;
+        req.witness = fx.builder.assignment();
+        req.seed = i;
+        auto admitted = svc->submit(std::move(req));
+        ASSERT_FALSE(admitted.isOk());
+        EXPECT_EQ(admitted.status().code(),
+                  StatusCode::kResourceExhausted);
+    }
+    EXPECT_EQ(svc->stats().rejected, 3u);
+    EXPECT_EQ(svc->stats().accepted, 0u);
+    EXPECT_EQ(svc->drain(), 0u);
+}
+
+/**
+ * A persistent cache-build fault never blocks proving: every batch
+ * falls back to the uncached path and the proof is still released
+ * and valid.
+ */
+TEST(ServiceChaos, CacheBuildFaultFallsBackToUncachedProof)
+{
+    const ChaosFixture &fx = chaosFixture();
+    faultsim::ScopedFaultPlan guard(
+        "seed=31;alloc@service.cache.build:1");
+    auto svc = makeChaosService();
+    auto id = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                   fx.builder.cs());
+    Service::Request req;
+    req.circuit = id;
+    req.witness = fx.builder.assignment();
+    req.seed = 12;
+    auto admitted = svc->submit(std::move(req));
+    ASSERT_TRUE(admitted.isOk());
+    svc->drain();
+    Service::Result res = admitted->get();
+    ASSERT_TRUE(res.status.isOk()) << res.status.toString();
+    EXPECT_TRUE(res.cacheBypass);
+    EXPECT_FALSE(res.cacheHit);
+    EXPECT_TRUE(
+        zkp::verifyBn254(fx.keys.vk, *res.proof, fx.publicInputs));
+    EXPECT_GE(svc->stats().cache.buildFailures, 1u);
+    EXPECT_EQ(svc->stats().cacheBypasses, 1u);
+}
+
+/**
+ * The nightmare scenario: the *cached* Algorithm-1 table is
+ * corrupted after it was built, so every warm request computes over
+ * poisoned data. The self-check must catch it (kDataLoss) and the
+ * pipeline demote to a backend that ignores the cached artifacts --
+ * a bad proof is never released.
+ */
+TEST(ServiceChaos, CorruptedCachedTableNeverReleasesBadProof)
+{
+    const ChaosFixture &fx = chaosFixture();
+    faultsim::ScopedFaultPlan guard(
+        "seed=32;bucket@service.cache.table:1");
+    auto svc = makeChaosService();
+    auto id = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                   fx.builder.cs());
+    for (std::uint64_t i = 0; i < 2; ++i) { // cold, then warm hit
+        Service::Request req;
+        req.circuit = id;
+        req.witness = fx.builder.assignment();
+        req.seed = 40 + i;
+        auto admitted = svc->submit(std::move(req));
+        ASSERT_TRUE(admitted.isOk());
+        svc->drain();
+        Service::Result res = admitted->get();
+        if (res.status.isOk()) {
+            // Released => must verify independently, whatever backend
+            // it took to get there.
+            EXPECT_TRUE(zkp::verifyBn254(fx.keys.vk, *res.proof,
+                                         fx.publicInputs))
+                << "released bad proof (seed " << (40 + i) << ")";
+        } else {
+            EXPECT_NE(res.status.code(), StatusCode::kOk);
+        }
+    }
+    EXPECT_GT(faultsim::firedCount(), 0u)
+        << "the table-corruption probe never fired";
+}
+
+/**
+ * The service sweep: seeded random plans over the full site
+ * vocabulary (queue, cache build, cached tables, plus every prover
+ * site), each driving a whole multi-request service run. Every run
+ * must end clean; both terminal states must occur across the sweep.
+ */
+TEST(ServiceChaos, ServiceChaosSweep)
+{
+    std::size_t proofs = 0, errors = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        auto plan = testkit::randomServiceFaultPlan(seed);
+        auto out = testkit::runServiceChaosPlan(plan, seed);
+        ASSERT_TRUE(out.clean())
+            << "seed " << seed << " plan \"" << plan.toString()
+            << "\" released a bad proof";
+        proofs += out.proofsOk;
+        errors += out.typedErrors + out.rejectedAtQueue;
+    }
+    EXPECT_GT(proofs, 0u);
+    EXPECT_GT(errors, 0u);
 }
 
 /** The fuzz-registry fault target agrees with the direct sweep. */

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Multi-tenant proving-service driver.
+ *
+ *     service_driver [--circuits=3] [--per-circuit=6] [--seed=1]
+ *                    [--constraints=10] [--queue-depth=64]
+ *                    [--batch=8] [--threads=0] [--cache-bytes=SPEC]
+ *                    [--background] [--verify] [--verbose]
+ *
+ * Replays a synthetic multi-tenant trace (testkit::serviceTrace:
+ * `circuits` tenants x `per-circuit` requests each, seeded arrival
+ * order) through a BN254 ProofService and prints the service and
+ * cache statistics. --background runs the service's own scheduler
+ * thread instead of draining inline; --verify re-checks every
+ * released proof with the independent pairing verifier.
+ * --cache-bytes takes the GZKP_CACHE_BYTES syntax (e.g. 64m) and
+ * overrides the environment for this run.
+ *
+ * Exits nonzero if any request failed, was rejected, or (with
+ * --verify) produced a proof the verifier rejects -- so the CI can
+ * run it as a smoke test.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/proof_service.hh"
+#include "testkit/testkit.hh"
+
+namespace {
+
+using namespace gzkp;
+using Service = service::ProofService<zkp::Bn254Family>;
+using Fr = ff::Bn254Fr;
+
+struct Args {
+    std::size_t circuits = 3;
+    std::size_t perCircuit = 6;
+    std::uint64_t seed = 1;
+    std::size_t constraints = 10;
+    std::size_t queueDepth = 64;
+    std::size_t batch = 8;
+    std::size_t threads = 0;
+    std::string cacheBytes;
+    bool background = false;
+    bool verify = false;
+    bool verbose = false;
+};
+
+bool
+parseOne(Args &a, const std::string &arg)
+{
+    auto val = [&](const char *key) -> const char * {
+        std::size_t n = std::strlen(key);
+        if (arg.compare(0, n, key) == 0 && arg.size() > n &&
+            arg[n] == '=')
+            return arg.c_str() + n + 1;
+        return nullptr;
+    };
+    if (const char *v = val("--circuits"))
+        a.circuits = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--per-circuit"))
+        a.perCircuit = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--seed"))
+        a.seed = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--constraints"))
+        a.constraints = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--queue-depth"))
+        a.queueDepth = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--batch"))
+        a.batch = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--threads"))
+        a.threads = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--cache-bytes"))
+        a.cacheBytes = v;
+    else if (arg == "--background")
+        a.background = true;
+    else if (arg == "--verify")
+        a.verify = true;
+    else if (arg == "--verbose")
+        a.verbose = true;
+    else
+        return false;
+    return true;
+}
+
+/** One registered tenant: circuit, keys, and its public inputs. */
+struct Tenant {
+    workload::Builder<Fr> builder;
+    zkp::Groth16<zkp::Bn254Family>::Keys keys;
+    std::vector<Fr> publicInputs;
+    Service::CircuitId id = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        if (!parseOne(args, argv[i])) {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (!args.cacheBytes.empty()) {
+        std::uint64_t b =
+            service::parseCacheBytesSpec(args.cacheBytes.c_str());
+        if (b == 0) {
+            std::fprintf(stderr, "bad --cache-bytes spec: %s\n",
+                         args.cacheBytes.c_str());
+            return 2;
+        }
+        service::setDefaultCacheBytes(b);
+    }
+
+    Service::Options opt;
+    opt.maxQueueDepth = args.queueDepth;
+    opt.maxBatch = args.batch;
+    opt.threads = args.threads;
+    auto svc = service::makeBn254ProofService(opt);
+
+    // Distinct tenants: each circuit gets its own seed, so its own
+    // constraint structure, keys, and therefore its own cache entry.
+    std::vector<Tenant> tenants;
+    tenants.reserve(args.circuits);
+    for (std::size_t c = 0; c < args.circuits; ++c) {
+        Tenant t{testkit::randomCircuit<Fr>(
+                     testkit::deriveSeed(args.seed, 0xC + c),
+                     args.constraints),
+                 {},
+                 {},
+                 0};
+        testkit::Rng rng(testkit::deriveSeed(args.seed, 0x5E + c));
+        t.keys =
+            zkp::Groth16<zkp::Bn254Family>::setup(t.builder.cs(), rng);
+        const auto &z = t.builder.assignment();
+        t.publicInputs.assign(
+            z.begin() + 1, z.begin() + 1 + t.builder.cs().numPublic());
+        t.id = svc->registerCircuit(t.keys.pk, t.keys.vk,
+                                    t.builder.cs());
+        tenants.push_back(std::move(t));
+    }
+
+    auto trace =
+        testkit::serviceTrace(args.circuits, args.perCircuit, args.seed);
+    if (args.background)
+        svc->start();
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::size_t, std::future<Service::Result>>>
+        inflight;
+    std::size_t rejected = 0;
+    for (const auto &entry : trace) {
+        const Tenant &t = tenants[entry.circuit];
+        Service::Request req;
+        req.circuit = t.id;
+        req.witness = t.builder.assignment();
+        req.seed = entry.seed;
+        auto admitted = svc->submit(std::move(req));
+        if (!admitted.isOk()) {
+            ++rejected;
+            if (args.verbose)
+                std::fprintf(stderr, "rejected: %s\n",
+                             admitted.status().toString().c_str());
+            continue;
+        }
+        inflight.emplace_back(entry.circuit, std::move(*admitted));
+        // Inline mode drains opportunistically at the high-watermark
+        // so a long trace still fits a small queue.
+        if (!args.background &&
+            inflight.size() % args.queueDepth == 0)
+            svc->drain();
+    }
+    if (!args.background)
+        svc->drain();
+
+    std::size_t ok = 0, failed = 0, badProofs = 0, cacheHits = 0;
+    for (auto &[tenant_idx, fut] : inflight) {
+        Service::Result res = fut.get();
+        if (!res.status.isOk()) {
+            ++failed;
+            if (args.verbose)
+                std::fprintf(stderr, "failed: %s\n",
+                             res.status.toString().c_str());
+            continue;
+        }
+        ++ok;
+        if (res.cacheHit)
+            ++cacheHits;
+        if (args.verify) {
+            const Tenant &t = tenants[tenant_idx];
+            if (!zkp::verifyBn254(t.keys.vk, *res.proof,
+                                  t.publicInputs))
+                ++badProofs;
+        }
+    }
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (args.background)
+        svc->stop();
+
+    Service::Stats st = svc->stats();
+    std::printf("service_driver: circuits=%zu per_circuit=%zu seed=%llu "
+                "mode=%s\n",
+                args.circuits, args.perCircuit,
+                (unsigned long long)args.seed,
+                args.background ? "background" : "inline");
+    std::printf("  requests: accepted=%llu rejected=%llu completed=%llu "
+                "failed=%llu\n",
+                (unsigned long long)st.accepted,
+                (unsigned long long)st.rejected,
+                (unsigned long long)st.completed,
+                (unsigned long long)st.failed);
+    std::printf("  batching: batches=%llu batched_requests=%llu "
+                "peak_queue_depth=%zu\n",
+                (unsigned long long)st.batches,
+                (unsigned long long)st.batchedRequests,
+                st.peakQueueDepth);
+    std::printf("  cache: hits=%llu misses=%llu builds=%llu "
+                "evictions=%llu bypasses=%llu bytes_in_use=%llu "
+                "budget=%llu\n",
+                (unsigned long long)st.cache.hits,
+                (unsigned long long)st.cache.misses,
+                (unsigned long long)st.cache.builds,
+                (unsigned long long)st.cache.evictions,
+                (unsigned long long)st.cacheBypasses,
+                (unsigned long long)st.cache.bytesInUse,
+                (unsigned long long)svc->cache().budgetBytes());
+    std::printf("  latency: queue_s=%.3f build_s=%.3f prove_s=%.3f "
+                "wall_s=%.3f throughput=%.2f proofs/s\n",
+                st.queueSecondsTotal, st.buildSecondsTotal,
+                st.proveSecondsTotal, wall,
+                wall > 0 ? double(ok) / wall : 0.0);
+    if (args.verify)
+        std::printf("  verify: ok=%zu bad=%zu\n", ok - badProofs,
+                    badProofs);
+
+    if (badProofs != 0 || failed != 0 || rejected != 0) {
+        std::fprintf(stderr,
+                     "service_driver: FAILED (failed=%zu rejected=%zu "
+                     "bad_proofs=%zu)\n",
+                     failed, rejected, badProofs);
+        return 1;
+    }
+    std::printf("service_driver: OK (%zu proofs, %zu cache hits)\n", ok,
+                cacheHits);
+    return 0;
+}
