@@ -12,10 +12,12 @@
 #ifndef GZKP_BENCH_BENCH_UTIL_HH
 #define GZKP_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "testkit/generators.hh"
 
@@ -62,6 +64,30 @@ class Timer
   private:
     std::chrono::steady_clock::time_point start_;
 };
+
+/**
+ * Median-of-N wall-clock timing with discarded warmup runs, so cold
+ * caches and one-off scheduler noise do not decide a speedup verdict.
+ * reps == 0 is treated as 1.
+ */
+template <typename Fn>
+double
+medianSeconds(Fn &&fn, std::size_t reps = 5, std::size_t warmup = 1)
+{
+    if (reps == 0)
+        reps = 1;
+    for (std::size_t i = 0; i < warmup; ++i)
+        fn();
+    std::vector<double> t(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        Timer tm;
+        fn();
+        t[i] = tm.seconds();
+    }
+    std::sort(t.begin(), t.end());
+    return reps % 2 ? t[reps / 2]
+                    : 0.5 * (t[reps / 2 - 1] + t[reps / 2]);
+}
 
 /** True when the bench was invoked with --full (larger sweeps). */
 inline bool

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * GLV endomorphism scalar decomposition (BN254 G1).
+ *
+ * BN curves carry the cheap curve endomorphism phi(x, y) = (beta*x, y)
+ * with beta a primitive cube root of unity in Fq; on the order-r
+ * subgroup phi acts as multiplication by lambda, a cube root of unity
+ * in Fr. Splitting a 254-bit scalar k into k1 + lambda * k2 with
+ * |k1|, |k2| ~ sqrt(r) lets every windowed MSM digitize half-length
+ * scalars over the doubled point set {P, phi(P)} -- the window count
+ * halves while the insertion count stays put, so the Horner/doubling
+ * and bucket-reduction phases shrink roughly 2x.
+ *
+ * The lattice L = {(a, b) : a + lambda*b = 0 mod r} has the short
+ * basis (derived from the BN parameter u, verified at startup):
+ *
+ *     v1 = (6u^2 + 2u,      6u^2 + 4u + 1)
+ *     v2 = (6u^2 + 4u + 1,  2u + 1)          det(v1, v2) = -r
+ *
+ * Babai round-off against that basis gives the decomposition: the
+ * lattice coordinates of (k, 0) are c1 = -k*b2/r and c2 = k*b1/r
+ * (det = -r), so with n1 ~ floor(k*b2/r) and n2 ~ floor(k*b1/r) the
+ * residual is k1 = k + n1*a1 - n2*a2, k2 = n1*b1 - n2*b2, computed in
+ * Fr field arithmetic. The per-scalar work is division-free: the
+ * precomputed reciprocals g_i = floor(2^384 * b_i / r) turn each
+ * quotient into a mulWide and a shift, off by at most 2 from the true
+ * floor (absorbed by the size margin). A residual with more than
+ * kScalarBits bits encodes a negative component as r - |value|.
+ *
+ * Curves without a specialization (BN254 G2 over Fp2, BLS12-381,
+ * MNT4753-sim) keep Glv<Cfg>::kEnabled == false and are untouched by
+ * every GLV-aware code path.
+ */
+
+#ifndef GZKP_EC_GLV_HH
+#define GZKP_EC_GLV_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+#include "ec/curves.hh"
+#include "ec/point.hh"
+#include "ff/bigint.hh"
+
+namespace gzkp::ec {
+
+namespace glv_detail {
+
+/** Binary long division: floor(num / den), den != 0. One-time use. */
+template <std::size_t N>
+inline ff::BigInt<N>
+divFloor(const ff::BigInt<N> &num, const ff::BigInt<N> &den)
+{
+    if (den.isZero())
+        throw std::logic_error("glv::divFloor: division by zero");
+    ff::BigInt<N> q, rem;
+    for (std::size_t i = N * 64; i-- > 0;) {
+        rem = rem.shl(1);
+        if (num.bit(i))
+            rem.limbs[0] |= 1;
+        if (!(rem < den)) {
+            ff::BigInt<N>::sub(rem, den, rem);
+            q.setBit(i);
+        }
+    }
+    return q;
+}
+
+/** floor(x / d) for a small divisor d (d != 0). */
+template <std::size_t N>
+inline ff::BigInt<N>
+divSmall(const ff::BigInt<N> &x, std::uint64_t d)
+{
+    ff::BigInt<N> q;
+    ff::uint128 rem = 0;
+    for (std::size_t i = N; i-- > 0;) {
+        ff::uint128 cur = (rem << 64) | x.limbs[i];
+        q.limbs[i] = std::uint64_t(cur / d);
+        rem = cur % d;
+    }
+    return q;
+}
+
+} // namespace glv_detail
+
+/**
+ * GLV trait: the primary template marks a curve as not GLV-capable.
+ * MSM code gates every GLV path behind `if constexpr
+ * (Glv<Cfg>::kEnabled)`, so nothing below is instantiated for plain
+ * curves.
+ */
+template <typename Cfg>
+struct Glv {
+    static constexpr bool kEnabled = false;
+    // Referenced (never selected) from runtime branches that the
+    // optimizer cannot fold away; 0 keeps such code well-formed.
+    static constexpr std::size_t kScalarBits = 0;
+};
+
+/** BN254 G1: the only GLV-capable curve in this repo's Table 1 set. */
+template <>
+struct Glv<Bn254G1Cfg> {
+    static constexpr bool kEnabled = true;
+
+    using Cfg = Bn254G1Cfg;
+    using Field = Cfg::Field;   // Fq
+    using Scalar = Cfg::Scalar; // Fr
+    using Repr = Scalar::Repr;  // BigInt<4>
+    using Affine = AffinePoint<Cfg>;
+    using Wide = ff::BigInt<8>;
+
+    /**
+     * Bit bound on |k1| and |k2|: floor rounding plus the reciprocal
+     * slack keeps both below 3*(a1 + a2) < 2^130; 132 leaves margin
+     * and is what every GLV window digitization loops over.
+     */
+    static constexpr std::size_t kScalarBits = 132;
+
+    /** The BN254 curve parameter u (x in the BN polynomial family). */
+    static constexpr std::uint64_t kBnU = 4965661367192848881ull;
+
+    struct Params {
+        Field beta;          //!< cube root of unity in Fq
+        Scalar lambda;       //!< cube root of unity in Fr
+        Repr lambdaRepr;
+        Repr a1, b1, a2, b2; //!< short lattice basis (all positive)
+        Scalar a1F, b1F, a2F, b2F;
+        Wide g1, g2;         //!< floor(2^384 * b_i / r)
+    };
+
+    /** One signed half-scalar of a decomposition. */
+    struct Decomposed {
+        Repr k1, k2;
+        bool neg1 = false, neg2 = false;
+    };
+
+    static const Params &
+    params()
+    {
+        static const Params p = build();
+        return p;
+    }
+
+    /** phi(x, y) = (beta * x, y); one field multiplication. */
+    static Affine
+    endo(const Affine &p)
+    {
+        if (p.infinity)
+            return p;
+        return Affine(params().beta * p.x, p.y);
+    }
+
+    /** Split k = k1 + lambda * k2 (mod r) with short signed halves. */
+    static Decomposed
+    decompose(const Scalar &k)
+    {
+        const Params &p = params();
+        Repr kr = k.toBigInt();
+        // Babai coefficients via the shifted reciprocals: v1's
+        // multiplier comes from b2 and v2's from b1 (the inverse of
+        // the basis matrix swaps the b column).
+        Wide kw = kr.resize<8>();
+        Repr n1 = Wide::mulWide(kw, p.g2).shr(384).resize<4>();
+        Repr n2 = Wide::mulWide(kw, p.g1).shr(384).resize<4>();
+
+        // Residual in Fr: both n_i and the basis entries are < r.
+        Scalar n1F = Scalar::fromBigInt(n1);
+        Scalar n2F = Scalar::fromBigInt(n2);
+        Scalar k1F = k + n1F * p.a1F - n2F * p.a2F;
+        Scalar k2F = n1F * p.b1F - n2F * p.b2F;
+
+        Decomposed d;
+        toSigned(k1F, d.k1, d.neg1);
+        toSigned(k2F, d.k2, d.neg2);
+        return d;
+    }
+
+  private:
+    /** Map an Fr residual to (magnitude, sign) with a short magnitude. */
+    static void
+    toSigned(const Scalar &v, Repr &mag, bool &neg)
+    {
+        Repr repr = v.toBigInt();
+        neg = repr.numBits() > kScalarBits;
+        if (neg)
+            Repr::sub(Scalar::modulus(), repr, mag);
+        else
+            mag = repr;
+        if (mag.numBits() > kScalarBits)
+            throw std::logic_error(
+                "Glv::decompose: component exceeds kScalarBits");
+    }
+
+    static Repr
+    mulSmall(const Repr &x, std::uint64_t c)
+    {
+        return Repr::mulWide(x, Repr::fromUint64(c)).resize<4>();
+    }
+
+    static Params
+    build()
+    {
+        Params p;
+        Repr u = Repr::fromUint64(kBnU);
+        Repr u2 = Repr::mulWide(u, u).resize<4>();
+        Repr u3 = Repr::mulWide(u2, u).resize<4>();
+
+        auto sum = [](std::initializer_list<Repr> parts) {
+            Repr acc;
+            for (const auto &x : parts)
+                Repr::add(acc, x, acc);
+            return acc;
+        };
+        // lambda = 36u^3 + 18u^2 + 6u + 1.
+        p.lambdaRepr = sum({mulSmall(u3, 36), mulSmall(u2, 18),
+                            mulSmall(u, 6), Repr::one()});
+        p.lambda = Scalar::fromBigInt(p.lambdaRepr);
+        // Short basis: v1 = (6u^2+2u, 6u^2+4u+1), v2 = (6u^2+4u+1,
+        // 2u+1); both entries positive, det = -r.
+        p.a1 = sum({mulSmall(u2, 6), mulSmall(u, 2)});
+        p.b1 = sum({mulSmall(u2, 6), mulSmall(u, 4), Repr::one()});
+        p.a2 = p.b1;
+        p.b2 = sum({mulSmall(u, 2), Repr::one()});
+        p.a1F = Scalar::fromBigInt(p.a1);
+        p.b1F = Scalar::fromBigInt(p.b1);
+        p.a2F = Scalar::fromBigInt(p.a2);
+        p.b2F = Scalar::fromBigInt(p.b2);
+
+        // Reciprocals g_i = floor(2^384 * b_i / r).
+        Wide r = Scalar::modulus().resize<8>();
+        p.g1 = glv_detail::divFloor(p.b1.resize<8>().shl(384), r);
+        p.g2 = glv_detail::divFloor(p.b2.resize<8>().shl(384), r);
+
+        // beta = zeta or zeta^2 for a primitive cube root zeta in Fq,
+        // picked so phi really is multiplication by this lambda.
+        Field zeta = Field::zero();
+        auto exp = glv_detail::divSmall(
+            [] {
+                Repr qm1;
+                Repr::sub(Field::modulus().resize<4>(),
+                          Repr::one(), qm1);
+                return qm1;
+            }(),
+            3);
+        for (std::uint64_t h = 2; h < 100; ++h) {
+            Field c = Field::fromUint64(h).pow(exp);
+            if (!(c == Field::one())) {
+                zeta = c;
+                break;
+            }
+        }
+
+        verify(p, zeta);
+        return p;
+    }
+
+    /**
+     * Startup self-check: every derived constant is re-validated
+     * against its defining identity so a bad basis or beta can never
+     * silently corrupt an MSM.
+     */
+    static void
+    verify(Params &p, const Field &zeta)
+    {
+        auto fail = [](const char *what) {
+            throw std::logic_error(std::string("Glv<Bn254>: ") + what);
+        };
+        if (zeta.isZero() || !(zeta.squared() * zeta == Field::one()))
+            fail("no cube root of unity found in Fq");
+        Scalar l = p.lambda;
+        if (!((l.squared() + l + Scalar::one()).isZero()))
+            fail("lambda^2 + lambda + 1 != 0 in Fr");
+        if (!((p.a1F + l * p.b1F).isZero()) ||
+            !((p.a2F + l * p.b2F).isZero()))
+            fail("lattice basis not in ker(a + lambda*b)");
+
+        // phi(G) must equal lambda * G; zeta vs zeta^2 selects which
+        // of the two non-trivial cube roots matches this lambda.
+        // (endo() is not callable here: params() is mid-construction.)
+        ECPoint<Cfg> lg =
+            ECPoint<Cfg>::generator().mul(p.lambdaRepr);
+        Affine gen = ECPoint<Cfg>::generatorAffine();
+        for (const Field &cand : {zeta, zeta.squared()}) {
+            p.beta = cand;
+            Affine mapped(cand * gen.x, gen.y);
+            if (lg == ECPoint<Cfg>::fromAffine(mapped))
+                return;
+        }
+        fail("neither cube root satisfies phi(G) == lambda * G");
+    }
+};
+
+} // namespace gzkp::ec
+
+#endif // GZKP_EC_GLV_HH

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ff/bigint.hh"
+#include "ff/fp.hh"
 
 namespace gzkp::ec {
 
@@ -291,8 +292,9 @@ inPrimeSubgroup(const AffinePoint<Cfg> &p)
 }
 
 /**
- * Batch-normalise Jacobian points to affine with a single inversion
- * (Montgomery's trick). Identity points map to affine identity.
+ * Batch-normalise Jacobian points to affine with a single inversion.
+ * Identity points (Z == 0) map to affine identity -- exactly the
+ * skip-and-preserve zero semantics ff::batchInverse guarantees.
  */
 template <typename Cfg>
 std::vector<AffinePoint<Cfg>>
@@ -302,23 +304,7 @@ batchToAffine(const std::vector<ECPoint<Cfg>> &pts)
     std::vector<Field> zs(pts.size());
     for (std::size_t i = 0; i < pts.size(); ++i)
         zs[i] = pts[i].Z;
-
-    // Montgomery batch inversion over the nonzero Zs.
-    std::vector<Field> prefix(pts.size());
-    Field acc = Field::one();
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-        prefix[i] = acc;
-        if (!zs[i].isZero())
-            acc *= zs[i];
-    }
-    Field inv = acc.inverse();
-    for (std::size_t i = pts.size(); i-- > 0;) {
-        if (zs[i].isZero())
-            continue;
-        Field zi = inv * prefix[i];
-        inv *= zs[i];
-        zs[i] = zi;
-    }
+    gzkp::ff::batchInverse(zs);
 
     std::vector<AffinePoint<Cfg>> out(pts.size());
     for (std::size_t i = 0; i < pts.size(); ++i) {

@@ -416,7 +416,20 @@ class Fp
 
 /**
  * Batch inversion with Montgomery's trick: replaces n inversions by
- * one inversion plus 3(n-1) multiplications. Zero entries stay zero.
+ * one inversion plus 3(n-1) multiplications.
+ *
+ * Zero handling is *skip-and-preserve*, and callers rely on it as a
+ * contract (regression-tested in test_fp.cc): a zero entry stays
+ * exactly zero and contributes nothing to the prefix products, so
+ * every nonzero entry is still replaced by its true inverse. A naive
+ * Montgomery chain would fold the zero into the running product and
+ * return garbage for *every* element; here the forward pass records
+ * the prefix before conditionally multiplying, and the backward pass
+ * skips zeros when unwinding. The empty and all-zero vectors are
+ * no-ops (inverse() maps the zero running product to zero).
+ *
+ * This is the shared inversion primitive of the batch-affine MSM
+ * scheduler (msm/batch_affine.hh) and of ec::batchToAffine.
  */
 template <typename FpT>
 void

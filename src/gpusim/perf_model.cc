@@ -55,6 +55,8 @@ invariantViolations(const KernelStats &s, const DeviceConfig &dev)
         fail("fieldMuls (", s.fieldMuls, ") negative");
     if (!(s.fieldAdds >= 0.0))
         fail("fieldAdds (", s.fieldAdds, ") negative");
+    if (!(s.fieldInvs >= 0.0))
+        fail("fieldInvs (", s.fieldInvs, ") negative");
     if (s.limbs == 0)
         fail("limbs == 0");
     if (!(s.hostSeconds >= 0.0))
@@ -81,7 +83,8 @@ modelComputeSeconds(const KernelStats &s, const DeviceConfig &dev,
                     Backend backend)
 {
     double macs = s.fieldMuls * macsPerFieldMul(s.limbs) +
-        s.fieldAdds * macsPerFieldAdd(s.limbs);
+        s.fieldAdds * macsPerFieldAdd(s.limbs) +
+        s.fieldInvs * macsPerFieldInv(s.limbs);
 
     // SMs actually occupied: with fewer blocks than SMs, the rest of
     // the chip idles (the paper's Figure 8 discussion at 2^18).
@@ -137,7 +140,8 @@ double
 cpuModelSeconds(const CpuStats &s, const CpuConfig &cpu)
 {
     double serial_ns = s.fieldMuls * cpu.mulNs(s.limbs) +
-        s.fieldAdds * cpu.addNs(s.limbs);
+        s.fieldAdds * cpu.addNs(s.limbs) +
+        s.fieldInvs * cpu.invNs(s.limbs);
     double par = double(cpu.threads) * cpu.parallelEfficiency;
     double t = serial_ns * (s.serialFraction +
                             (1.0 - s.serialFraction) / par);

@@ -42,6 +42,7 @@ struct KernelStats {
     std::size_t limbs = 4;            //!< field width in 64-bit limbs
     double fieldMuls = 0;             //!< modular multiplications
     double fieldAdds = 0;             //!< modular additions/subs
+    double fieldInvs = 0;             //!< modular inversions (Fermat)
     std::uint64_t linesTouched = 0;   //!< global L2 lines moved
     std::uint64_t usefulBytes = 0;    //!< bytes actually requested
     double idleLaneFactor = 1.0;      //!< avg useful fraction of warp
@@ -73,6 +74,7 @@ struct KernelStats {
         // Aggregate sequential kernels of the same field width.
         fieldMuls += o.fieldMuls;
         fieldAdds += o.fieldAdds;
+        fieldInvs += o.fieldInvs;
         linesTouched += o.linesTouched;
         usefulBytes += o.usefulBytes;
         // Weighted-average the efficiency factors by multiplies.
@@ -106,6 +108,24 @@ inline double
 macsPerFieldAdd(std::size_t limbs)
 {
     return 3.0 * limbs;
+}
+
+/**
+ * Field-multiplication equivalents of one Fermat inversion: a
+ * square-and-multiply over the ~64*limbs-bit exponent p-2 costs one
+ * squaring per bit plus a multiply on the ~50% set bits.
+ */
+inline double
+mulsPerFieldInv(std::size_t limbs)
+{
+    return 1.5 * 64.0 * double(limbs);
+}
+
+/** 32-bit op-equivalents of one modular inversion. */
+inline double
+macsPerFieldInv(std::size_t limbs)
+{
+    return mulsPerFieldInv(limbs) * macsPerFieldMul(limbs);
 }
 
 /**
@@ -182,6 +202,12 @@ struct CpuConfig {
         return addNs381 * double(limbs) / 6.0;
     }
 
+    double
+    invNs(std::size_t limbs) const
+    {
+        return mulsPerFieldInv(limbs) * mulNs(limbs);
+    }
+
     static CpuConfig xeonGold5117x2() { return CpuConfig(); }
 };
 
@@ -190,6 +216,7 @@ struct CpuStats {
     std::size_t limbs = 4;
     double fieldMuls = 0;
     double fieldAdds = 0;
+    double fieldInvs = 0; //!< shared inversions (batch-affine rounds)
     double serialFraction = 0.05; //!< Amdahl term
 };
 

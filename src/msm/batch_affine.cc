@@ -1,0 +1,82 @@
+#include "msm/batch_affine.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gzkp::msm {
+
+namespace {
+
+// Atomics: engines resolve options from runtime worker threads while
+// tests flip the defaults between runs (same pattern as the runtime's
+// GZKP_THREADS default). Auto means "re-read the environment".
+std::atomic<Accumulator> g_accumulator{Accumulator::Auto};
+std::atomic<GlvMode> g_glv{GlvMode::Auto};
+
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s)
+        out.push_back(char(std::tolower(*s)));
+    return out;
+}
+
+Accumulator
+accumulatorFromEnv()
+{
+    std::string v = lowered(std::getenv("GZKP_ACCUMULATOR"));
+    if (v.empty() || v == "batchaffine" || v == "batch-affine" ||
+        v == "on" || v == "1")
+        return Accumulator::BatchAffine;
+    if (v == "jacobian" || v == "off" || v == "0")
+        return Accumulator::Jacobian;
+    throw std::invalid_argument("GZKP_ACCUMULATOR: expected "
+                                "\"batchaffine\" or \"jacobian\", got "
+                                "\"" + v + "\"");
+}
+
+GlvMode
+glvFromEnv()
+{
+    std::string v = lowered(std::getenv("GZKP_GLV"));
+    if (v.empty() || v == "on" || v == "1")
+        return GlvMode::On;
+    if (v == "off" || v == "0")
+        return GlvMode::Off;
+    throw std::invalid_argument("GZKP_GLV: expected \"on\" or "
+                                "\"off\", got \"" + v + "\"");
+}
+
+} // namespace
+
+Accumulator
+defaultAccumulator()
+{
+    Accumulator a = g_accumulator.load(std::memory_order_relaxed);
+    return a == Accumulator::Auto ? accumulatorFromEnv() : a;
+}
+
+void
+setDefaultAccumulator(Accumulator a)
+{
+    g_accumulator.store(a, std::memory_order_relaxed);
+}
+
+GlvMode
+defaultGlvMode()
+{
+    GlvMode m = g_glv.load(std::memory_order_relaxed);
+    return m == GlvMode::Auto ? glvFromEnv() : m;
+}
+
+void
+setDefaultGlvMode(GlvMode m)
+{
+    g_glv.store(m, std::memory_order_relaxed);
+}
+
+} // namespace gzkp::msm

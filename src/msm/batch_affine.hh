@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Collision-aware batch-affine bucket accumulation.
+ *
+ * Every CPU MSM engine spends its time adding affine base points into
+ * bucket accumulators. The Jacobian mixed add costs ~11 field muls;
+ * the affine chord add costs 3 muls plus one inversion, and
+ * Montgomery's trick (ff::batchInverse) amortizes the inversion over a
+ * whole batch at 3 muls per element -- ~6 muls per add, plus one
+ * shared inversion per batch (gnark/bellman's biggest CPU win).
+ *
+ * The affine formulas only apply to two *distinct, finite* points, so
+ * the scheduler drains per-slot addition queues in rounds:
+ *
+ *  - each slot owns a running affine accumulator; an incoming point
+ *    pairs with it and is *staged* (denominator x2 - x1 recorded) --
+ *    at most one staged add per slot per round, enforced by an epoch
+ *    counter;
+ *  - a second add to a claimed slot in the same round, or a doubling
+ *    (x1 == x2, y1 == y2), falls back to a per-slot *Jacobian side
+ *    accumulator* -- graceful degradation, never a stall;
+ *  - a cancellation (x1 == x2, y1 == -y2) just clears the slot;
+ *  - when kBatch adds are staged, one ff::batchInverse over the
+ *    staged denominators resolves the whole round with cheap affine
+ *    chord additions.
+ *
+ * Determinism: a slot's value depends only on the sequence of points
+ * added to it (affine coordinates are the canonical representation of
+ * a group element, and batch boundaries are a function of the
+ * insertion sequence alone), so as long as an engine feeds each
+ * accumulator in a fixed order -- which the src/runtime chunking
+ * rules already guarantee -- results are bit-identical at any thread
+ * count, matching the Jacobian path exactly.
+ */
+
+#ifndef GZKP_MSM_BATCH_AFFINE_HH
+#define GZKP_MSM_BATCH_AFFINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/point.hh"
+#include "ff/fp.hh"
+
+namespace gzkp::msm {
+
+/** Bucket accumulation strategy for the CPU MSM engines. */
+enum class Accumulator {
+    Auto,        //!< GZKP_ACCUMULATOR env, default BatchAffine
+    Jacobian,    //!< the original mixed-add path
+    BatchAffine, //!< shared-inversion affine scheduler
+};
+
+/** GLV decomposition switch for GLV-capable curves. */
+enum class GlvMode {
+    Auto, //!< GZKP_GLV env, default On (for capable curves)
+    Off,
+    On,
+};
+
+/**
+ * Process-wide defaults behind Accumulator::Auto / GlvMode::Auto:
+ * the GZKP_ACCUMULATOR ("jacobian" | "batchaffine") and GZKP_GLV
+ * ("on"/"1" | "off"/"0") environment variables, both defaulting to
+ * the fast path. setDefault*() overrides the environment (pass Auto
+ * to drop back to it); used by tests and the differential registry.
+ */
+Accumulator defaultAccumulator();
+void setDefaultAccumulator(Accumulator a);
+GlvMode defaultGlvMode();
+void setDefaultGlvMode(GlvMode m);
+
+/** Resolve an engine option against the process default. */
+inline bool
+useBatchAffine(Accumulator a)
+{
+    if (a == Accumulator::Auto)
+        a = defaultAccumulator();
+    return a == Accumulator::BatchAffine;
+}
+
+/** True when GLV should be used (the curve must also be capable). */
+inline bool
+useGlv(GlvMode m)
+{
+    if (m == GlvMode::Auto)
+        m = defaultGlvMode();
+    return m == GlvMode::On;
+}
+
+/**
+ * The batch-add scheduler. Slots are bucket indices (or any engine-
+ * chosen mapping); see the file comment for the round semantics.
+ */
+template <typename Cfg>
+class BatchAffineAccumulator
+{
+  public:
+    using Field = typename Cfg::Field;
+    using Affine = ec::AffinePoint<Cfg>;
+    using Point = ec::ECPoint<Cfg>;
+
+    /** Staged adds per shared inversion. */
+    static constexpr std::size_t kBatch = 256;
+
+    explicit BatchAffineAccumulator(std::size_t slots = 0)
+    {
+        reset(slots);
+    }
+
+    std::size_t slots() const { return cur_.size(); }
+
+    /** Clear to `slots` identity slots; reuses capacity. */
+    void
+    reset(std::size_t slots)
+    {
+        cur_.assign(slots, Affine::identity());
+        side_.assign(slots, Point::identity());
+        claimed_.assign(slots, 0);
+        epoch_ = 1;
+        staged_.clear();
+        denoms_.clear();
+        staged_.reserve(kBatch);
+        denoms_.reserve(kBatch);
+    }
+
+    /** Queue `slot += p`; may trigger a round flush. */
+    void
+    add(std::size_t slot, const Affine &p)
+    {
+        if (p.infinity)
+            return;
+        if (claimed_[slot] == epoch_) {
+            // Same-round collision: the slot's staged add is still
+            // pending, so this point joins the Jacobian side sum.
+            side_[slot] = side_[slot].addMixed(p);
+            ++collisions_;
+            return;
+        }
+        Affine &acc = cur_[slot];
+        if (acc.infinity) {
+            acc = p;
+            return;
+        }
+        if (acc.x == p.x) {
+            if (acc.y == p.y) {
+                // Doubling: the chord formula divides by zero; send
+                // 2p to the side accumulator and clear the slot.
+                side_[slot] = side_[slot] + Point::fromAffine(p).dbl();
+                ++doublings_;
+            }
+            // else cancellation: p == -acc, the pair annihilates.
+            acc = Affine::identity();
+            return;
+        }
+        claimed_[slot] = epoch_;
+        staged_.push_back({slot, p});
+        denoms_.push_back(p.x - acc.x);
+        ++affineAdds_;
+        if (staged_.size() >= kBatch)
+            flush();
+    }
+
+    /**
+     * Resolve the staged round: one shared inversion, then a chord
+     * addition per staged slot. Safe to call with nothing staged.
+     */
+    void
+    flush()
+    {
+        if (!staged_.empty()) {
+            // Denominators are nonzero by construction (x1 != x2),
+            // but batchInverse's skip-and-preserve zero handling
+            // makes a bug here loud (a zero survives and the curve
+            // check in tests catches the off-curve result) rather
+            // than corrupting neighbouring entries.
+            ff::batchInverse(denoms_);
+            ++inversions_;
+            for (std::size_t i = 0; i < staged_.size(); ++i) {
+                Affine &acc = cur_[staged_[i].slot];
+                const Affine &p = staged_[i].p;
+                Field lambda = (p.y - acc.y) * denoms_[i];
+                Field x3 = lambda.squared() - acc.x - p.x;
+                Field y3 = lambda * (acc.x - x3) - acc.y;
+                acc = Affine(x3, y3);
+            }
+            staged_.clear();
+            denoms_.clear();
+        }
+        ++epoch_;
+    }
+
+    /** Slot value; only meaningful after flush(). */
+    Point
+    result(std::size_t slot) const
+    {
+        if (cur_[slot].infinity)
+            return side_[slot];
+        return side_[slot].addMixed(cur_[slot]);
+    }
+
+    /** sum_d d * result(d) by suffix sums; flushes first. */
+    Point
+    reduceWeighted()
+    {
+        flush();
+        Point acc, sum;
+        for (std::size_t d = cur_.size(); d-- > 1;) {
+            acc += result(d);
+            sum += acc;
+        }
+        return sum;
+    }
+
+    // Op counters (introspection for tests and the hot-path bench).
+    std::uint64_t affineAdds() const { return affineAdds_; }
+    std::uint64_t inversions() const { return inversions_; }
+    std::uint64_t collisions() const { return collisions_; }
+    std::uint64_t doublings() const { return doublings_; }
+
+  private:
+    struct Staged {
+        std::size_t slot;
+        Affine p;
+    };
+
+    std::vector<Affine> cur_;
+    std::vector<Point> side_;
+    std::vector<std::uint32_t> claimed_;
+    std::uint32_t epoch_ = 1;
+    std::vector<Staged> staged_;
+    std::vector<Field> denoms_;
+    std::uint64_t affineAdds_ = 0;
+    std::uint64_t inversions_ = 0;
+    std::uint64_t collisions_ = 0;
+    std::uint64_t doublings_ = 0;
+};
+
+/**
+ * A window's bucket array behind either accumulation strategy -- the
+ * shim the window-major engines (serial Pippenger, bellperson) drop
+ * in where they held a plain std::vector<Point>.
+ */
+template <typename Cfg>
+class BucketSet
+{
+  public:
+    using Affine = ec::AffinePoint<Cfg>;
+    using Point = ec::ECPoint<Cfg>;
+
+    BucketSet(std::size_t nbuckets, bool batch_affine)
+        : batchAffine_(batch_affine), nbuckets_(nbuckets)
+    {
+        if (batchAffine_)
+            ba_.reset(nbuckets);
+        else
+            jac_.assign(nbuckets, Point::identity());
+    }
+
+    /** Re-arm for the next window. */
+    void
+    reset()
+    {
+        if (batchAffine_)
+            ba_.reset(nbuckets_);
+        else
+            jac_.assign(nbuckets_, Point::identity());
+    }
+
+    void
+    add(std::size_t d, const Affine &p)
+    {
+        if (batchAffine_)
+            ba_.add(d, p);
+        else
+            jac_[d] = jac_[d].addMixed(p);
+    }
+
+    /** Bucket reduction sum_d d * B_d (identical on both paths). */
+    Point
+    reduceWeighted()
+    {
+        if (batchAffine_)
+            return ba_.reduceWeighted();
+        Point acc, sum;
+        for (std::size_t d = jac_.size(); d-- > 1;) {
+            acc += jac_[d];
+            sum += acc;
+        }
+        return sum;
+    }
+
+  private:
+    bool batchAffine_;
+    std::size_t nbuckets_;
+    BatchAffineAccumulator<Cfg> ba_{0};
+    std::vector<Point> jac_;
+};
+
+} // namespace gzkp::msm
+
+#endif // GZKP_MSM_BATCH_AFFINE_HH

@@ -22,6 +22,7 @@
 #include "faultsim/faultsim.hh"
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
+#include "msm/batch_affine.hh"
 #include "msm/msm_common.hh"
 #include "runtime/runtime.hh"
 
@@ -39,10 +40,14 @@ class BellpersonMsm
      * @param k window bits (bellperson default region)
      * @param sub_msms horizontal split; 0 = pick for GPU occupancy
      * @param threads CPU runtime threads; 0 = GZKP_THREADS default
+     * @param accumulator bucket strategy for the functional CPU
+     *        execution (the modeled GPU kernel stays Jacobian)
      */
     explicit BellpersonMsm(std::size_t k = 10, std::size_t sub_msms = 0,
-                           std::size_t threads = 0)
-        : k_(k), subMsms_(sub_msms), threads_(threads)
+                           std::size_t threads = 0,
+                           Accumulator accumulator = Accumulator::Auto)
+        : k_(k), subMsms_(sub_msms), threads_(threads),
+          accumulator_(accumulator)
     {}
 
     std::size_t
@@ -74,6 +79,7 @@ class BellpersonMsm
         std::size_t s = effectiveSubMsms(n, dev);
         std::size_t chunk = (n + s - 1) / s;
         std::size_t threads = runtime::resolveThreads(threads_);
+        bool ba = useBatchAffine(accumulator_);
         auto repr = scalarsToRepr(scalars, threads);
 
         // windowSums[t] accumulates W_t across sub-MSMs. Each window
@@ -84,7 +90,8 @@ class BellpersonMsm
         runtime::parallelForChunks(
             threads, windows,
             [&](std::size_t wlo, std::size_t whi, std::size_t) {
-                std::vector<Point> buckets(std::size_t(1) << k_);
+                BucketSet<Cfg> buckets(std::size_t(1) << k_, ba);
+                bool fresh = true;
                 for (std::size_t t = wlo; t < whi; ++t) {
                     faultsim::checkLaunch("msm.bellperson.window", t);
                     Point wsum;
@@ -94,21 +101,16 @@ class BellpersonMsm
                         if (lo >= hi)
                             break;
                         // One task: slice [lo,hi) of window t.
-                        for (auto &b : buckets)
-                            b = Point::identity();
+                        if (!fresh)
+                            buckets.reset();
+                        fresh = false;
                         for (std::size_t i = lo; i < hi; ++i) {
                             std::uint64_t d =
                                 windowDigit(repr[i], t, k_);
                             if (d != 0)
-                                buckets[d] =
-                                    buckets[d].addMixed(points[i]);
+                                buckets.add(d, points[i]);
                         }
-                        Point acc, sum;
-                        for (std::size_t d = buckets.size(); d-- > 1;) {
-                            acc += buckets[d];
-                            sum += acc;
-                        }
-                        wsum += sum;
+                        wsum += buckets.reduceWeighted();
                     }
                     faultsim::maybeCorruptPoint(
                         faultsim::FaultKind::Bucket, wsum,
@@ -241,6 +243,7 @@ class BellpersonMsm
     std::size_t k_;
     std::size_t subMsms_;
     std::size_t threads_;
+    Accumulator accumulator_;
 };
 
 } // namespace gzkp::msm

@@ -25,6 +25,15 @@ inline constexpr double kMulsPerFullAdd = 16.0;
 inline constexpr double kMulsPerDbl = 8.0;
 inline constexpr double kAddsPerPadd = 7.0;
 
+/**
+ * Batch-affine accumulation (msm/batch_affine.hh): the chord add is
+ * 3 muls and the Montgomery-trick share another 3, with one shared
+ * field inversion (counted separately as CpuStats/KernelStats
+ * fieldInvs) per kBatch staged adds.
+ */
+inline constexpr double kMulsPerBatchedAffineAdd = 6.0;
+inline constexpr double kAddsPerBatchedAffineAdd = 6.0;
+
 /** Number of k-bit windows covering an l-bit scalar. */
 inline std::size_t
 windowCount(std::size_t scalar_bits, std::size_t k)

@@ -36,9 +36,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ec/glv.hh"
 #include "faultsim/faultsim.hh"
 #include "gpusim/device.hh"
 #include "gpusim/perf_model.hh"
+#include "msm/batch_affine.hh"
 #include "msm/msm_common.hh"
 #include "runtime/runtime.hh"
 
@@ -71,6 +73,14 @@ class GzkpMsm
         bool loadBalance = true;
         double memoryBudgetFraction = 0.6;
         std::size_t threads = 0;     //!< 0 = GZKP_THREADS default
+        /** Bucket strategy for the functional CPU execution (Horner
+         * mode only; PerPoint and the modeled GPU kernels stay
+         * Jacobian). */
+        Accumulator accumulator = Accumulator::Auto;
+        /** GLV preprocessing (GLV-capable curves only). The switch
+         * acts at preprocess() time; run() follows what the table was
+         * built with. */
+        GlvMode glv = GlvMode::Auto;
     };
 
     /** The preprocessed (weighted, checkpointed) point set. */
@@ -80,7 +90,18 @@ class GzkpMsm
         std::size_t m = 1;           //!< checkpoint interval M
         std::size_t windows = 0;
         std::size_t checkpoints = 0; //!< ceil(windows / M)
-        /** pre[c * n + i] = 2^(c*M*k) * P_i, affine. */
+        /**
+         * GLV table: the base vector is doubled to
+         * [P_0..P_{n-1}, phi(P_0)..phi(P_{n-1})] and windows cover
+         * the 132-bit decomposed halves instead of the full scalar
+         * width -- scalar-independent (the per-scalar signs are
+         * applied at bucket-insertion time), so the table is as
+         * reusable as the plain one.
+         */
+        bool glv = false;
+        /** Base count: entries per checkpoint block. */
+        std::size_t nb() const { return glv ? 2 * n : n; }
+        /** pre[c * nb() + j] = 2^(c*M*k) * B_j, affine. */
         std::vector<Affine> pre;
 
         std::uint64_t
@@ -90,7 +111,7 @@ class GzkpMsm
             std::uint64_t sc = Scalar::kLimbs * 8;
             // Checkpoint tables + scalars + p_index entries.
             return pre.size() * pt + std::uint64_t(n) * sc +
-                std::uint64_t(n) * windows * 8;
+                std::uint64_t(nb()) * windows * 8;
         }
 
         /**
@@ -168,15 +189,29 @@ class GzkpMsm
             pp.n = n;
             pp.k = window(n);
             pp.m = checkpointInterval(n);
-            pp.windows = windowCount(Scalar::bits(), pp.k);
+            pp.glv = ec::Glv<Cfg>::kEnabled && useGlv(opt_.glv);
+            std::size_t bits = pp.glv ? ec::Glv<Cfg>::kScalarBits
+                                      : Scalar::bits();
+            pp.windows = windowCount(bits, pp.k);
             pp.checkpoints = (pp.windows + pp.m - 1) / pp.m;
 
             faultsim::checkAlloc("msm.gzkp.preprocess", 0);
-            progress.cur.resize(n);
-            runtime::parallelFor(opt_.threads, n, [&](std::size_t i) {
-                progress.cur[i] = Point::fromAffine(points[i]);
+            std::size_t nb = pp.nb();
+            progress.cur.resize(nb);
+            runtime::parallelFor(opt_.threads, nb, [&](std::size_t j) {
+                if (j < n) {
+                    progress.cur[j] = Point::fromAffine(points[j]);
+                    return;
+                }
+                // GLV half of the table: phi(P_{j-n}). Guarded so the
+                // branch never instantiates for non-GLV curves (their
+                // nb() == n and this lambda body is j < n only).
+                if constexpr (ec::Glv<Cfg>::kEnabled) {
+                    progress.cur[j] = Point::fromAffine(
+                        ec::Glv<Cfg>::endo(points[j - n]));
+                }
             });
-            pp.pre.reserve(pp.checkpoints * n);
+            pp.pre.reserve(pp.checkpoints * nb);
             progress.started = true;
         }
         Preprocessed &pp = progress.pp;
@@ -192,7 +227,7 @@ class GzkpMsm
                 // independent, so the doubling chains parallelise).
                 next = progress.cur;
                 runtime::parallelFor(
-                    opt_.threads, n, [&](std::size_t i) {
+                    opt_.threads, pp.nb(), [&](std::size_t i) {
                         for (std::size_t d = 0; d < pp.m * pp.k; ++d)
                             next[i] = next[i].dbl();
                     });
@@ -214,13 +249,39 @@ class GzkpMsm
         if (scalars.size() != pp.n)
             throw std::invalid_argument("GzkpMsm::run: size mismatch");
         std::size_t threads = runtime::resolveThreads(opt_.threads);
-        auto repr = scalarsToRepr(scalars, threads);
+
+        // The table dictates the digitization: a GLV table carries
+        // the doubled base vector, so each scalar splits into its two
+        // signed 132-bit halves, k1 driving base j = i and k2 driving
+        // endo base j = n + i. Signs live in a side vector and are
+        // applied when an entry is loaded for bucket insertion.
+        std::vector<typename Scalar::Repr> repr;
+        std::vector<std::uint8_t> neg;
+        if (pp.glv) {
+            if constexpr (ec::Glv<Cfg>::kEnabled) {
+                repr.resize(pp.nb());
+                neg.resize(pp.nb());
+                runtime::parallelFor(
+                    threads, pp.n, [&](std::size_t i) {
+                        auto d = ec::Glv<Cfg>::decompose(scalars[i]);
+                        repr[i] = d.k1;
+                        neg[i] = d.neg1;
+                        repr[pp.n + i] = d.k2;
+                        neg[pp.n + i] = d.neg2;
+                    });
+            } else {
+                throw std::invalid_argument(
+                    "GzkpMsm::run: GLV table on a non-GLV curve");
+            }
+        } else {
+            repr = scalarsToRepr(scalars, threads);
+        }
         std::size_t nbuckets = std::size_t(1) << pp.k;
 
         faultsim::checkAlloc("msm.gzkp.buckets", nbuckets);
         std::vector<Point> buckets(nbuckets);
         if (pp.n != 0)
-            accumulateBuckets(pp, repr, threads, buckets);
+            accumulateBuckets(pp, repr, neg, threads, buckets);
 
         // Single bucket reduction (parallel prefix sum on the GPU;
         // same operation count): sum_d d * B_d via suffix sums.
@@ -356,12 +417,13 @@ class GzkpMsm
     void
     accumulateBuckets(const Preprocessed &pp,
                       const std::vector<typename Scalar::Repr> &repr,
+                      const std::vector<std::uint8_t> &neg,
                       std::size_t threads,
                       std::vector<Point> &buckets) const
     {
-        std::size_t n = pp.n;
+        std::size_t nb = pp.nb();
         std::size_t nbuckets = buckets.size();
-        std::size_t chunks = pIndexChunks(n, pp.windows, nbuckets);
+        std::size_t chunks = pIndexChunks(nb, pp.windows, nbuckets);
 
         // The three modeled kernels (merge, Horner, reduce) map to
         // the three phases below; each gets a launch probe.
@@ -370,7 +432,7 @@ class GzkpMsm
         // Pass 1: per-(chunk, bucket) entry counts.
         std::vector<std::uint64_t> counts(chunks * nbuckets, 0);
         runtime::parallelForChunks(
-            threads, n,
+            threads, nb,
             [&](std::size_t lo, std::size_t hi, std::size_t ch) {
                 auto *cnt = counts.data() + ch * nbuckets;
                 for (std::size_t i = lo; i < hi; ++i) {
@@ -397,12 +459,12 @@ class GzkpMsm
         }
         start[nbuckets] = pos;
 
-        // Pass 2: scatter packed entries t*N + i, bucket-sorted.
+        // Pass 2: scatter packed entries t*NB + j, bucket-sorted.
         faultsim::checkLaunch("msm.gzkp.kernel.scatter", 1);
         faultsim::checkAlloc("msm.gzkp.p_index", pos);
         std::vector<std::uint64_t> p_index(pos);
         runtime::parallelForChunks(
-            threads, n,
+            threads, nb,
             [&](std::size_t lo, std::size_t hi, std::size_t ch) {
                 auto *cur = cursor.data() + ch * nbuckets;
                 for (std::size_t i = lo; i < hi; ++i) {
@@ -410,7 +472,7 @@ class GzkpMsm
                         std::uint64_t d = windowDigit(repr[i], t, pp.k);
                         if (d != 0)
                             p_index[cur[d]++] =
-                                std::uint64_t(t) * n + i;
+                                std::uint64_t(t) * nb + i;
                     }
                 }
             },
@@ -436,6 +498,8 @@ class GzkpMsm
                   });
         std::size_t groups =
             std::min(order.size(), runtime::kMaxChunks);
+        bool ba = opt_.mode == CheckpointMode::Horner &&
+            useBatchAffine(opt_.accumulator);
 
         faultsim::checkLaunch("msm.gzkp.kernel.bucket", 2);
         runtime::parallelForChunks(
@@ -443,15 +507,21 @@ class GzkpMsm
             [&](std::size_t glo, std::size_t ghi, std::size_t) {
                 std::vector<Point> acc(pp.m);
                 for (std::size_t g = glo; g < ghi; ++g) {
+                    if (ba) {
+                        bucketGroupBatchAffine(pp, neg, p_index, start,
+                                               order, g, groups,
+                                               buckets);
+                        continue;
+                    }
                     for (std::size_t p = g; p < order.size();
                          p += groups) {
                         std::size_t d = order[p];
                         if (opt_.mode == CheckpointMode::Horner)
-                            buckets[d] = bucketHorner(pp, p_index,
+                            buckets[d] = bucketHorner(pp, neg, p_index,
                                                       start[d],
                                                       start[d + 1], acc);
                         else
-                            buckets[d] = bucketPerPoint(pp, p_index,
+                            buckets[d] = bucketPerPoint(pp, neg, p_index,
                                                         start[d],
                                                         start[d + 1]);
                         // Simulated warp-level soft error: a bucket
@@ -466,20 +536,34 @@ class GzkpMsm
             groups);
     }
 
+    /** Table entry j of checkpoint block c, sign-folded for GLV. */
+    Affine
+    preEntry(const Preprocessed &pp,
+             const std::vector<std::uint8_t> &neg, std::size_t c,
+             std::size_t j) const
+    {
+        const Affine &p = pp.pre[c * pp.nb() + j];
+        if (!neg.empty() && neg[j])
+            return p.negate();
+        return p;
+    }
+
     /** Per-delta partial sums, then one shared doubling chain. */
     Point
     bucketHorner(const Preprocessed &pp,
+                 const std::vector<std::uint8_t> &neg,
                  const std::vector<std::uint64_t> &p_index,
                  std::uint64_t lo, std::uint64_t hi,
                  std::vector<Point> &acc) const
     {
+        std::size_t nb = pp.nb();
         for (auto &a : acc)
             a = Point::identity();
         for (std::uint64_t e = lo; e < hi; ++e) {
-            std::size_t t = std::size_t(p_index[e] / pp.n);
-            std::size_t i = std::size_t(p_index[e] % pp.n);
+            std::size_t t = std::size_t(p_index[e] / nb);
+            std::size_t i = std::size_t(p_index[e] % nb);
             std::size_t c = t / pp.m, delta = t % pp.m;
-            acc[delta] = acc[delta].addMixed(pp.pre[c * pp.n + i]);
+            acc[delta] = acc[delta].addMixed(preEntry(pp, neg, c, i));
         }
         Point x = acc[pp.m - 1];
         for (std::size_t delta = pp.m - 1; delta-- > 0;) {
@@ -493,20 +577,81 @@ class GzkpMsm
     /** Algorithm 1 literal: a doubling chain per entry. */
     Point
     bucketPerPoint(const Preprocessed &pp,
+                   const std::vector<std::uint8_t> &neg,
                    const std::vector<std::uint64_t> &p_index,
                    std::uint64_t lo, std::uint64_t hi) const
     {
+        std::size_t nb = pp.nb();
         Point sum;
         for (std::uint64_t e = lo; e < hi; ++e) {
-            std::size_t t = std::size_t(p_index[e] / pp.n);
-            std::size_t i = std::size_t(p_index[e] % pp.n);
+            std::size_t t = std::size_t(p_index[e] / nb);
+            std::size_t i = std::size_t(p_index[e] % nb);
             std::size_t c = t / pp.m, delta = t % pp.m;
-            Point tmp = Point::fromAffine(pp.pre[c * pp.n + i]);
+            Point tmp = Point::fromAffine(preEntry(pp, neg, c, i));
             for (std::size_t j = 0; j < delta * pp.k; ++j)
                 tmp = tmp.dbl();
             sum += tmp;
         }
         return sum;
+    }
+
+    /**
+     * One task group's buckets on the batch-affine scheduler. The
+     * group's buckets share one accumulator with m slots per bucket
+     * (slot = localBucket * m + delta), and the drain is round-robin
+     * *across* buckets: a bucket's p_index range is consecutive, so a
+     * bucket-major walk would revisit the same slot every step and
+     * collide its way into pure Jacobian adds. Interleaving visits
+     * every live bucket once per round -- same-round slot repeats
+     * only arise on the heavy tail (few buckets left), where the
+     * side accumulator absorbs them. Entry order within a bucket is
+     * unchanged (ascending e), and groups are a pure function of the
+     * load histogram, so buckets[] stays thread-count invariant.
+     */
+    void
+    bucketGroupBatchAffine(const Preprocessed &pp,
+                           const std::vector<std::uint8_t> &neg,
+                           const std::vector<std::uint64_t> &p_index,
+                           const std::vector<std::uint64_t> &start,
+                           const std::vector<std::size_t> &order,
+                           std::size_t g, std::size_t groups,
+                           std::vector<Point> &buckets) const
+    {
+        std::size_t nb = pp.nb();
+        std::vector<std::size_t> mine;
+        for (std::size_t p = g; p < order.size(); p += groups)
+            mine.push_back(order[p]);
+
+        BatchAffineAccumulator<Cfg> acc(mine.size() * pp.m);
+        bool more = true;
+        for (std::uint64_t r = 0; more; ++r) {
+            more = false;
+            for (std::size_t lb = 0; lb < mine.size(); ++lb) {
+                std::uint64_t e = start[mine[lb]] + r;
+                if (e >= start[mine[lb] + 1])
+                    continue;
+                more = true;
+                std::size_t t = std::size_t(p_index[e] / nb);
+                std::size_t j = std::size_t(p_index[e] % nb);
+                std::size_t c = t / pp.m, delta = t % pp.m;
+                acc.add(lb * pp.m + delta, preEntry(pp, neg, c, j));
+            }
+        }
+        acc.flush();
+
+        for (std::size_t lb = 0; lb < mine.size(); ++lb) {
+            std::size_t d = mine[lb];
+            Point x = acc.result(lb * pp.m + pp.m - 1);
+            for (std::size_t delta = pp.m - 1; delta-- > 0;) {
+                for (std::size_t j = 0; j < pp.k; ++j)
+                    x = x.dbl();
+                x += acc.result(lb * pp.m + delta);
+            }
+            buckets[d] = x;
+            faultsim::maybeCorruptPoint(faultsim::FaultKind::Bucket,
+                                        buckets[d], "msm.gzkp.bucket",
+                                        d);
+        }
     }
 
     static gpusim::KernelStats

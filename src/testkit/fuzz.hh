@@ -122,6 +122,16 @@ msmDifferential(std::size_t threads = 0)
         return PippengerSerial<MsmCfg>(0, threads)
             .run(in.points, in.scalars);
     });
+    // The Accumulator/GlvMode defaults resolve to the batch-affine +
+    // GLV hot path, so the Auto entries above exercise the new code;
+    // this pins the original Jacobian/no-GLV path so both strategies
+    // stay under differential coverage regardless of the defaults.
+    d.add("pippenger-serial-jacobian", [threads](const MsmIn &in) {
+        return PippengerSerial<MsmCfg>(0, threads,
+                                       Accumulator::Jacobian,
+                                       GlvMode::Off)
+            .run(in.points, in.scalars);
+    });
     d.add("pippenger-serial-k13", [threads](const MsmIn &in) {
         return PippengerSerial<MsmCfg>(13, threads)
             .run(in.points, in.scalars);
@@ -138,6 +148,15 @@ msmDifferential(std::size_t threads = 0)
         o.k = 8;
         o.checkpointM = 2;
         o.threads = threads;
+        return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
+    });
+    d.add("gzkp-horner-m2-jacobian", [threads](const MsmIn &in) {
+        typename GzkpMsm<MsmCfg>::Options o;
+        o.k = 8;
+        o.checkpointM = 2;
+        o.threads = threads;
+        o.accumulator = Accumulator::Jacobian;
+        o.glv = GlvMode::Off;
         return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
     });
     d.add("gzkp-horner-m5", [threads](const MsmIn &in) {
@@ -178,6 +197,91 @@ fuzzMsmInstance(const MsmDifferential &d, std::uint64_t seed,
            << shrunk.size();
     rep.failures.push_back(
         {"msm", reproLine(seed, size, kind), detail.str()});
+}
+
+/**
+ * The batch-affine / GLV cross-product registry: every engine at
+ * every (accumulator, glv) combination it supports, against the
+ * naive oracle -- the focused differential for the CPU hot path.
+ * Broader than the entries in msmDifferential() (which keep the fuzz
+ * loop's per-iteration cost bounded); run by the dedicated unit
+ * tests, the batchaffine fuzz target, and CI sanitizer tiers.
+ */
+inline MsmDifferential
+batchAffineDifferential(std::size_t threads = 0)
+{
+    using namespace gzkp::msm;
+    MsmDifferential d("naive", [](const MsmIn &in) {
+        return msmNaive<MsmCfg>(in.points, in.scalars);
+    });
+    struct Combo {
+        const char *tag;
+        Accumulator acc;
+        GlvMode glv;
+    };
+    static constexpr Combo kCombos[] = {
+        {"jac-noglv", Accumulator::Jacobian, GlvMode::Off},
+        {"ba-noglv", Accumulator::BatchAffine, GlvMode::Off},
+        {"jac-glv", Accumulator::Jacobian, GlvMode::On},
+        {"ba-glv", Accumulator::BatchAffine, GlvMode::On},
+    };
+    for (const Combo &c : kCombos) {
+        d.add(std::string("serial-") + c.tag,
+              [threads, c](const MsmIn &in) {
+                  return PippengerSerial<MsmCfg>(0, threads, c.acc,
+                                                 c.glv)
+                      .run(in.points, in.scalars);
+              });
+        d.add(std::string("gzkp-horner-m2-") + c.tag,
+              [threads, c](const MsmIn &in) {
+                  typename GzkpMsm<MsmCfg>::Options o;
+                  o.k = 8;
+                  o.checkpointM = 2;
+                  o.threads = threads;
+                  o.accumulator = c.acc;
+                  o.glv = c.glv;
+                  return GzkpMsm<MsmCfg>(o).run(in.points, in.scalars);
+              });
+    }
+    for (Accumulator acc :
+         {Accumulator::Jacobian, Accumulator::BatchAffine}) {
+        d.add(acc == Accumulator::Jacobian ? "bellperson-jac"
+                                           : "bellperson-ba",
+              [threads, acc](const MsmIn &in) {
+                  return BellpersonMsm<MsmCfg>(9, 3, threads, acc)
+                      .run(in.points, in.scalars);
+              });
+    }
+    return d;
+}
+
+/** Repro fragment for a batch-affine differential instance. */
+inline std::string
+batchAffineRepro(std::uint64_t seed, std::size_t size)
+{
+    std::ostringstream os;
+    os << "--seed=" << seed << " --size=" << size
+       << " --kind=batchaffine";
+    return os.str();
+}
+
+/** One batch-affine cross-product differential + shrink-on-failure. */
+inline void
+fuzzBatchAffineInstance(std::uint64_t seed, std::size_t size,
+                        ScalarMix kind, FuzzReport &rep)
+{
+    static const MsmDifferential d = batchAffineDifferential();
+    auto in = msmInstance<MsmCfg>(size, kind, seed);
+    auto div = d.run(in);
+    if (!div)
+        return;
+    auto shrunk = shrinkMsm<MsmCfg>(
+        in, [&](const MsmIn &cand) { return d.run(cand).has_value(); });
+    std::ostringstream detail;
+    detail << div->variant << ": " << div->detail << "; shrunk to n="
+           << shrunk.size();
+    rep.failures.push_back(
+        {"batchaffine", batchAffineRepro(seed, size), detail.str()});
 }
 
 // ---------------------------------------------------------------- NTT
@@ -583,6 +687,11 @@ fuzzAll(const FuzzOptions &opt,
             if (opt.gpusim && i % 8 == 1) {
                 fuzzGpusimInstance(deriveSeed(opt.seed, i, 3),
                                    1 + size / 4, kind, rep);
+            }
+            // The 10-variant cross-product is pricey; sample sparsely.
+            if (i % 16 == 5) {
+                fuzzBatchAffineInstance(deriveSeed(opt.seed, i, 9),
+                                        size, kind, rep);
             }
         }
         if (opt.ntt && i % 2 == 0) {

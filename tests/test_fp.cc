@@ -138,6 +138,46 @@ TYPED_TEST(FpTest, BatchInverseMatchesSingle)
         EXPECT_EQ(xs[i], expect[i]);
 }
 
+// The skip-and-preserve zero contract of ff::batchInverse: zeros stay
+// exactly zero, and their presence anywhere in the vector must not
+// corrupt any nonzero entry. The batch-affine MSM scheduler and
+// ec::batchToAffine both depend on this.
+TYPED_TEST(FpTest, BatchInverseZeroContract)
+{
+    using F = TypeParam;
+
+    // Alternating zero / nonzero, including zeros at both ends.
+    std::vector<F> xs;
+    for (int i = 0; i < 21; ++i)
+        xs.push_back(i % 2 ? F::random(this->rng) : F::zero());
+    auto orig = xs;
+    batchInverse(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (orig[i].isZero())
+            EXPECT_TRUE(xs[i].isZero()) << i;
+        else
+            EXPECT_EQ(xs[i] * orig[i], F::one()) << i;
+    }
+
+    // All-zero and empty vectors are no-ops.
+    std::vector<F> zeros(5, F::zero());
+    batchInverse(zeros);
+    for (const F &z : zeros)
+        EXPECT_TRUE(z.isZero());
+    std::vector<F> empty;
+    batchInverse(empty);
+    EXPECT_TRUE(empty.empty());
+
+    // Single-element vectors: the degenerate prefix chain.
+    std::vector<F> one{F::random(this->rng)};
+    F orig_one = one[0];
+    batchInverse(one);
+    EXPECT_EQ(one[0] * orig_one, F::one());
+    std::vector<F> one_zero{F::zero()};
+    batchInverse(one_zero);
+    EXPECT_TRUE(one_zero[0].isZero());
+}
+
 TYPED_TEST(FpTest, RandomIsReduced)
 {
     using F = TypeParam;

@@ -211,13 +211,14 @@ TEST(Msm, PreprocessedPointsAreWeighted)
     o.k = 8;
     o.checkpointM = 3;
     auto pre = GzkpMsm<Cfg>(o).preprocess(in.points);
-    // pre[c*n+i] == 2^(c*M*k) * P_i.
+    // pre[c*nb()+j] == 2^(c*M*k) * B_j (B_j = P_j for j < n; a GLV
+    // table appends phi(P_j) at j = n + i with the same weighting).
     ASSERT_GE(pre.checkpoints, 2u);
     for (std::size_t i = 0; i < 5; ++i) {
         auto expect = Pt::fromAffine(in.points[i]);
         for (std::size_t d = 0; d < o.checkpointM * o.k; ++d)
             expect = expect.dbl();
-        EXPECT_EQ(Pt::fromAffine(pre.pre[pre.n + i]), expect);
+        EXPECT_EQ(Pt::fromAffine(pre.pre[pre.nb() + i]), expect);
     }
 }
 

@@ -115,8 +115,9 @@ TEST(ServiceBytes, PreprocessedBytesMatchesContainers)
               sizeof(pp) +
                   std::uint64_t(pp.pre.size()) *
                       sizeof(ec::AffinePoint<G1Cfg>));
-    // The table dominates: checkpoints * n entries.
-    EXPECT_EQ(pp.pre.size(), pp.checkpoints * pp.n);
+    // The table dominates: checkpoints * nb() entries (nb() == 2n
+    // when the table carries the GLV endomorphism halves).
+    EXPECT_EQ(pp.pre.size(), pp.checkpoints * pp.nb());
 }
 
 TEST(ServiceBytes, DomainBytesMatchesTwiddleTables)

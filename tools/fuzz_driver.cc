@@ -109,6 +109,22 @@ replay(const Args &a)
         rep.iterations = 1;
         return report(rep);
     }
+    // --kind=batchaffine replays the accumulator/GLV cross-product
+    // differential (every engine at every strategy combination). The
+    // repro line does not record the scalar mix, so all mixes are
+    // swept; instance generation is deterministic per (size, mix,
+    // seed) and therefore covers the originally diverging instance.
+    if (a.kind == "batchaffine") {
+        std::size_t n = std::size_t(a.replaySize);
+        std::printf(
+            "replaying --seed=%llu --size=%zu --kind=batchaffine\n",
+            (unsigned long long)a.seed, n);
+        for (std::size_t i = 0; i < testkit::kScalarMixCount; ++i)
+            testkit::fuzzBatchAffineInstance(
+                a.seed, n, testkit::ScalarMix(i), rep);
+        rep.iterations = testkit::kScalarMixCount;
+        return report(rep);
+    }
     testkit::ScalarMix kind;
     try {
         kind = testkit::scalarMixFromName(a.kind);
@@ -157,7 +173,8 @@ main(int argc, char **argv)
                 "[--verbose]\n       fuzz_driver --seed=S --size=N "
                 "--kind=K   (replay one instance; --kind=proofdet "
                 "replays a proof-determinism check; --kind=fault "
-                "sweeps N chaos plans)\n");
+                "sweeps N chaos plans; --kind=batchaffine sweeps "
+                "the accumulator/GLV cross-product)\n");
             return 2;
         }
     }
