@@ -52,6 +52,7 @@
 #include "testkit/shrink.hh"
 #include "zkp/groth16.hh"
 #include "zkp/groth16_bn254.hh"
+#include "zkp/prover_pipeline.hh"
 #include "zkp/serialize.hh"
 
 namespace gzkp::testkit {
@@ -67,8 +68,10 @@ struct FuzzOptions {
     bool groth16 = true;
     bool gpusim = true;
     bool fault = true;
+    bool workload = true;
     std::uint64_t groth16Every = 40; //!< proofs are expensive
     std::uint64_t faultEvery = 16;   //!< chaos runs prove repeatedly
+    std::uint64_t workloadEvery = 64; //!< full Merkle prove per hit
     bool verbose = false;
 };
 
@@ -597,6 +600,80 @@ fuzzFaultInstance(std::uint64_t seed, FuzzReport &rep)
     rep.failures.push_back({"fault", faultRepro(seed), detail.str()});
 }
 
+// ----------------------------------------------------------- workload
+
+/** Repro fragment for a workload instance (size unused). */
+inline std::string
+workloadRepro(std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << "--seed=" << seed << " --size=0 --kind=workload";
+    return os.str();
+}
+
+/**
+ * One realistic-workload iteration: a random N-ary Poseidon Merkle
+ * shape (depth, arity, leaf index) with sibling material drawn from a
+ * random scalar regime, proved through the self-checking pipeline.
+ * The invariant is the chaos one: the run ends in a verifying proof
+ * or a clean typed error -- never a bad proof, never an untyped
+ * exception.
+ */
+inline void
+fuzzWorkloadInstance(std::uint64_t seed, FuzzReport &rep)
+{
+    using Family = zkp::Bn254Family;
+    using G16 = zkp::Groth16<Family>;
+    using Fr = ff::Bn254Fr;
+
+    Rng rng(deriveSeed(seed, 1));
+    workload::MerkleShape shape;
+    shape.depth = 1 + rng() % 3;
+    shape.arity = 2 + rng() % 3;
+    std::uint64_t span = 1;
+    for (std::size_t i = 0; i < shape.depth; ++i)
+        span *= shape.arity;
+    shape.leafIndex = rng() % span;
+    ScalarMix regime = ScalarMix(rng() % kScalarMixCount);
+
+    auto fail = [&](const std::string &what) {
+        std::ostringstream detail;
+        detail << what << " (depth=" << shape.depth << " arity="
+               << shape.arity << " leaf=" << shape.leafIndex
+               << " regime=" << name(regime) << ")";
+        rep.failures.push_back(
+            {"workload", workloadRepro(seed), detail.str()});
+    };
+
+    try {
+        auto material = scalarVector<Fr>(
+            shape.depth * (shape.arity - 1), regime, rng);
+        Fr leaf = biasedField<Fr>(rng);
+        auto b = workload::makePoseidonMerkleCircuit<Fr>(shape, leaf,
+                                                         material);
+        if (!b.cs().isSatisfied(b.assignment())) {
+            fail("generated circuit is unsatisfied (builder bug)");
+            return;
+        }
+        Rng srng(deriveSeed(seed, 2));
+        auto keys = G16::setup(b.cs(), srng);
+        auto prover = zkp::makeBn254SelfCheckingProver();
+        Rng prng(deriveSeed(seed, 3));
+        auto r = prover.prove(keys.pk, keys.vk, b.cs(),
+                              b.assignment(), prng);
+        if (r.isOk()) {
+            std::vector<Fr> pub(
+                b.assignment().begin() + 1,
+                b.assignment().begin() + 1 + b.cs().numPublic());
+            if (!zkp::verifyBn254(keys.vk, *r, pub))
+                fail("pipeline released a non-verifying proof");
+        }
+        // A typed Status is the clean-error arm of the invariant.
+    } catch (const std::exception &e) {
+        fail(std::string("untyped exception: ") + e.what());
+    }
+}
+
 // ------------------------------------------------------------- gpusim
 
 /**
@@ -713,6 +790,9 @@ fuzzAll(const FuzzOptions &opt,
         // Chaos runs may retry across three backends: sample sparsely.
         if (opt.fault && i % opt.faultEvery == 11)
             fuzzFaultInstance(deriveSeed(opt.seed, i, 8), rep);
+        // A full setup+prove per hit: the sparsest slot of all.
+        if (opt.workload && i % opt.workloadEvery == 13)
+            fuzzWorkloadInstance(deriveSeed(opt.seed, i, 10), rep);
 
         ++rep.iterations;
         if (opt.verbose && (i + 1) % 100 == 0) {

@@ -85,9 +85,11 @@ enum class ScalarMix {
     Adversarial = 2, //!< 0, 1, r-1, tiny values, duplicate points
     LowHamming = 3,  //!< few set bits per scalar
     Boundary = 4,    //!< reduction/Montgomery boundary values
+    Clustered = 5,   //!< few bases + small deltas (bucket hotspots)
+    Collision = 6,   //!< adversarial-collision: shared window digits
 };
 
-inline constexpr std::size_t kScalarMixCount = 5;
+inline constexpr std::size_t kScalarMixCount = 7;
 
 inline const char *
 name(ScalarMix k)
@@ -98,6 +100,8 @@ name(ScalarMix k)
       case ScalarMix::Adversarial: return "adversarial";
       case ScalarMix::LowHamming: return "lowhamming";
       case ScalarMix::Boundary: return "boundary";
+      case ScalarMix::Clustered: return "clustered";
+      case ScalarMix::Collision: return "collision";
     }
     return "?";
 }
@@ -119,6 +123,56 @@ scalarVector(std::size_t n, ScalarMix kind, RngT &rng)
 {
     std::vector<Fr> out;
     out.reserve(n);
+    if (kind == ScalarMix::Clustered) {
+        // A handful of cluster centers drawn once per vector, then
+        // center + small delta: most window digits agree across the
+        // vector, so Pippenger buckets concentrate on a few indices
+        // per window -- the load-balancing stress the paper's
+        // Section 4.2 histograms describe.
+        std::vector<Fr> centers;
+        std::size_t k = n ? 2 + rng() % 3 : 0;
+        for (std::size_t c = 0; c < k; ++c)
+            centers.push_back(Fr::random(rng));
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(centers[rng() % centers.size()] +
+                          Fr::fromUint64(rng() % 251));
+        return out;
+    }
+    if (kind == ScalarMix::Collision) {
+        // Adversarial-collision: one base value dominates the vector
+        // (identical scalars -> every window feeds the same bucket),
+        // mixed with base+tiny neighbours and repeated-digit
+        // patterns d * (1 + 2^c + 2^2c + ...) whose c-bit windows
+        // all carry the same digit for common window widths. Worst
+        // case for bucket load balancing and for the batch-affine
+        // scheduler's collision queue.
+        Fr base = Fr::random(rng);
+        using Repr = typename Fr::Repr;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t c = rng() % 10;
+            if (c < 6) {
+                out.push_back(base);
+            } else if (c < 8) {
+                out.push_back(base + Fr::fromUint64(c - 5));
+            } else {
+                std::size_t width = (rng() % 2) ? 8 : 13;
+                std::uint64_t digit =
+                    1 + rng() % ((std::uint64_t(1) << width) - 1);
+                Repr v = Repr::zero();
+                for (std::size_t pos = 0;
+                     pos + width < Fr::bits() - 1; pos += width) {
+                    for (std::size_t b = 0; b < width; ++b) {
+                        if ((digit >> b) & 1)
+                            v.limbs[(pos + b) / 64] |=
+                                std::uint64_t(1) << ((pos + b) % 64);
+                    }
+                }
+                out.push_back(v < Fr::modulus() ? Fr::fromBigInt(v)
+                                                : Fr::one());
+            }
+        }
+        return out;
+    }
     for (std::size_t i = 0; i < n; ++i) {
         switch (kind) {
           case ScalarMix::Dense:
@@ -156,6 +210,9 @@ scalarVector(std::size_t n, ScalarMix kind, RngT &rng)
               default: out.push_back(Fr::random(rng)); break;
             }
             break;
+          case ScalarMix::Clustered:
+          case ScalarMix::Collision:
+            break; // handled as whole-vector regimes above
         }
     }
     return out;

@@ -13,10 +13,12 @@
 #ifndef GZKP_WORKLOAD_BUILDER_HH
 #define GZKP_WORKLOAD_BUILDER_HH
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "zkp/poseidon.hh"
 #include "zkp/r1cs.hh"
 
 namespace gzkp::workload {
@@ -193,6 +195,136 @@ class Builder
         rsum.add(d, -Fr::one());
         assertEqual(rsum, rp);
         return {lp, rp};
+    }
+
+    /** x^5 S-box on a linear combination; 3 constraints. */
+    Var
+    sbox5(const LinComb<Fr> &x)
+    {
+        Var x2 = mulLin(x, x);
+        LinComb<Fr> lc2(x2, Fr::one());
+        Var x4 = mulLin(lc2, lc2);
+        return mulLin(LinComb<Fr>(x4, Fr::one()), x);
+    }
+
+    /**
+     * The Poseidon permutation (zkp::PoseidonX5, the published BN254
+     * x5_254_3 instance) on a width-3 state of linear combinations.
+     * The linear layers -- round-constant adds and the MDS mix --
+     * are folded into the combinations, so only S-boxes cost
+     * constraints: 3 each, 8 full rounds x 3 S-boxes + 57 partial
+     * rounds x 1 S-box = 243 constraints per permutation. The
+     * combinations are coalesced after every mix so partial-round
+     * state stays proportional to the S-boxes emitted so far.
+     */
+    std::array<LinComb<Fr>, 3>
+    poseidonPermute(std::array<LinComb<Fr>, 3> state)
+    {
+        using P = zkp::PoseidonX5<Fr>;
+        const auto &c = P::roundConstants();
+        const auto &m = P::mds();
+        std::size_t ci = 0;
+        auto round = [&](bool full) {
+            for (unsigned i = 0; i < 3; ++i)
+                state[i].add(0, c[ci++]);
+            std::array<LinComb<Fr>, 3> sb;
+            sb[0] = LinComb<Fr>(sbox5(state[0]), Fr::one());
+            for (unsigned i = 1; i < 3; ++i)
+                sb[i] = full
+                    ? LinComb<Fr>(sbox5(state[i]), Fr::one())
+                    : state[i];
+            std::array<LinComb<Fr>, 3> mixed;
+            for (unsigned i = 0; i < 3; ++i) {
+                for (unsigned j = 0; j < 3; ++j)
+                    mixed[i].addScaled(sb[j], m[i * 3 + j]);
+                mixed[i].coalesce();
+            }
+            state = std::move(mixed);
+        };
+        for (unsigned r = 0; r < P::kFullRounds / 2; ++r)
+            round(true);
+        for (unsigned r = 0; r < P::kPartialRounds; ++r)
+            round(false);
+        for (unsigned r = 0; r < P::kFullRounds / 2; ++r)
+            round(true);
+        return state;
+    }
+
+    /**
+     * Two-to-one Poseidon compression: sponge state (0, l, r),
+     * permute, squeeze the capacity element. 244 constraints.
+     */
+    Var
+    poseidonHash2(Var l, Var r)
+    {
+        std::array<LinComb<Fr>, 3> st = {LinComb<Fr>(),
+                                         LinComb<Fr>(l, Fr::one()),
+                                         LinComb<Fr>(r, Fr::one())};
+        auto out = poseidonPermute(std::move(st));
+        Var o = alloc(out[0].evaluate(z_));
+        assertEqual(out[0], o);
+        return o;
+    }
+
+    /**
+     * Left-to-right chained Poseidon hash of >= 2 children -- the
+     * node compression of the N-ary Merkle family (matches
+     * zkp::PoseidonX5::hashMany).
+     */
+    Var
+    poseidonHashMany(const std::vector<Var> &in)
+    {
+        if (in.size() < 2)
+            throw std::invalid_argument(
+                "Builder::poseidonHashMany: need >= 2 inputs");
+        Var acc = poseidonHash2(in[0], in[1]);
+        for (std::size_t i = 2; i < in.size(); ++i)
+            acc = poseidonHash2(acc, in[i]);
+        return acc;
+    }
+
+    /**
+     * One level of an N-ary Poseidon Merkle path. `siblings` holds
+     * the other arity-1 children in slot order (skipping `pos`,
+     * the private slot of the current node). Allocates the full
+     * child vector and a one-hot selector, constrains the selector
+     * (booleanity, sum = 1, selected child = cur), and returns the
+     * parent hash. The position is witness data: nothing about
+     * `pos` leaks into the constraint structure.
+     */
+    Var
+    poseidonMerkleLevel(Var cur, const std::vector<Var> &siblings,
+                        std::size_t pos)
+    {
+        std::size_t arity = siblings.size() + 1;
+        if (arity < 2 || pos >= arity)
+            throw std::invalid_argument(
+                "Builder::poseidonMerkleLevel: bad arity/pos");
+        std::vector<Var> kids(arity);
+        std::size_t si = 0;
+        for (std::size_t j = 0; j < arity; ++j)
+            kids[j] = j == pos ? alloc(z_[cur])
+                               : alloc(z_[siblings[si++]]);
+        // One-hot selector: each bit boolean, bits sum to one, and
+        // the selected child equals the running node.
+        LinComb<Fr> sum, picked;
+        for (std::size_t j = 0; j < arity; ++j) {
+            Var s = alloc(j == pos ? Fr::one() : Fr::zero());
+            assertBool(s);
+            sum.add(s, Fr::one());
+            picked.add(mul(s, kids[j]), Fr::one());
+        }
+        constrain(sum, LinComb<Fr>(0, Fr::one()),
+                  LinComb<Fr>(0, Fr::one()));
+        assertEqual(picked, cur);
+        // Siblings must re-appear verbatim in the hashed children.
+        si = 0;
+        for (std::size_t j = 0; j < arity; ++j) {
+            if (j != pos)
+                assertEqual(LinComb<Fr>(siblings[si++], Fr::one()),
+                            kids[j]);
+        }
+        return poseidonHashMany(kids);
     }
 
     /**

@@ -169,6 +169,98 @@ makeMerkleCircuit(std::size_t depth, Rng &rng)
 }
 
 /**
+ * A Poseidon hash-chain circuit: prove knowledge of a `length`-link
+ * preimage chain ending in the public digest. ~244 constraints per
+ * link; public input 1 is the final digest. This is the "Poseidon
+ * hash" workload of the realistic suite (ZEKNOX / cuZK evaluate on
+ * exactly this circuit shape).
+ */
+template <typename Fr, typename Rng>
+Builder<Fr>
+makePoseidonChainCircuit(std::size_t length, Rng &rng)
+{
+    if (length == 0)
+        throw std::invalid_argument(
+            "makePoseidonChainCircuit: length must be >= 1");
+    Builder<Fr> b(1);
+    auto cur = b.alloc(Fr::random(rng));
+    for (std::size_t i = 0; i < length; ++i)
+        cur = b.poseidonHash2(cur, b.alloc(Fr::random(rng)));
+    b.setPublic(1, b.value(cur));
+    b.assertEqual(zkp::LinComb<Fr>(cur, Fr::one()), 1);
+    return b;
+}
+
+/** Shape of one N-ary Poseidon Merkle-membership instance. */
+struct MerkleShape {
+    std::size_t depth = 4;     //!< tree levels walked
+    std::size_t arity = 2;     //!< children per node (>= 2)
+    std::uint64_t leafIndex = 0; //!< leaf position, < arity^depth
+
+    /** Per-level child slot of the walked node, bottom-up. */
+    std::size_t
+    slot(std::size_t level) const
+    {
+        std::uint64_t idx = leafIndex;
+        for (std::size_t i = 0; i < level; ++i)
+            idx /= arity;
+        return std::size_t(idx % arity);
+    }
+};
+
+/**
+ * An N-ary Poseidon Merkle-membership circuit: prove that a secret
+ * leaf lies at a secret position of a tree with public root. Nodes
+ * compress their `arity` children with a left-to-right Poseidon
+ * hash chain; each level carries a one-hot selector for the walked
+ * child (see Builder::poseidonMerkleLevel). `sibling_material`
+ * provides the depth * (arity - 1) sibling values in walk order --
+ * the hook the scalar-regime generators use to steer the witness
+ * distribution.
+ */
+template <typename Fr>
+Builder<Fr>
+makePoseidonMerkleCircuit(const MerkleShape &shape, const Fr &leaf,
+                          const std::vector<Fr> &sibling_material)
+{
+    if (shape.arity < 2)
+        throw std::invalid_argument(
+            "makePoseidonMerkleCircuit: arity must be >= 2");
+    if (shape.depth == 0)
+        throw std::invalid_argument(
+            "makePoseidonMerkleCircuit: depth must be >= 1");
+    if (sibling_material.size() < shape.depth * (shape.arity - 1))
+        throw std::invalid_argument(
+            "makePoseidonMerkleCircuit: not enough sibling material");
+    Builder<Fr> b(1);
+    auto cur = b.alloc(leaf);
+    std::size_t si = 0;
+    for (std::size_t level = 0; level < shape.depth; ++level) {
+        std::vector<std::size_t> sibs;
+        for (std::size_t j = 0; j + 1 < shape.arity; ++j)
+            sibs.push_back(b.alloc(sibling_material[si++]));
+        cur = b.poseidonMerkleLevel(cur, sibs, shape.slot(level));
+    }
+    b.setPublic(1, b.value(cur));
+    b.assertEqual(zkp::LinComb<Fr>(cur, Fr::one()), 1);
+    return b;
+}
+
+/** Convenience overload: random leaf and sibling values. */
+template <typename Fr, typename Rng>
+Builder<Fr>
+makePoseidonMerkleCircuit(std::size_t depth, std::size_t arity,
+                          std::uint64_t leaf_index, Rng &rng)
+{
+    MerkleShape shape{depth, arity, leaf_index};
+    std::vector<Fr> sibs;
+    for (std::size_t i = 0; i < depth * (arity - 1); ++i)
+        sibs.push_back(Fr::random(rng));
+    return makePoseidonMerkleCircuit<Fr>(shape, Fr::random(rng),
+                                         sibs);
+}
+
+/**
  * A sealed-bid auction circuit (the paper's Auction app): prove that
  * the secret bid exceeds the public current-best without revealing
  * it. Public input 1 is the current best; input 2 a commitment to

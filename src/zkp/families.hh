@@ -15,6 +15,7 @@
 #define GZKP_ZKP_FAMILIES_HH
 
 #include "ec/curves.hh"
+#include "zkp/poseidon.hh"
 
 namespace gzkp::zkp {
 
@@ -23,6 +24,14 @@ struct Bn254Family {
     using G1Cfg = ec::Bn254G1Cfg;
     using G2Cfg = ec::Bn254G2Cfg;
     static constexpr bool kHasPairing = true;
+    /**
+     * The circuit-level hash of the realistic workload suite: BN254
+     * carries the published x5_254_3 Poseidon instance, so the
+     * Poseidon/Merkle circuit families (workload/workloads.hh) and
+     * their known-answer vectors apply to this family.
+     */
+    using Poseidon = PoseidonX5<Fr>;
+    static constexpr bool kHasPoseidon = true;
     static const char *name() { return "ALT-BN128"; }
 };
 
@@ -31,6 +40,12 @@ struct Bls381Family {
     using G1Cfg = ec::Bls381G1Cfg;
     using G2Cfg = ec::Bls381G1Cfg; // no Fp2 tower for BLS here
     static constexpr bool kHasPairing = false;
+    /**
+     * No Poseidon instance is pinned for the 255-bit BLS scalar
+     * field (the hard-coded tables are the n=254 derivation);
+     * Poseidon workloads are gated on kHasPoseidon.
+     */
+    static constexpr bool kHasPoseidon = false;
     static const char *name() { return "BLS12-381"; }
 };
 

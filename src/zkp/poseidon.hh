@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The Poseidon permutation (x^5 S-box) over a prime field.
+ *
+ * Two pieces live here:
+ *
+ *  - PoseidonGrain: the Grain-LFSR parameter derivation from the
+ *    Poseidon reference implementation (generate_parameters_grain):
+ *    an 80-bit LFSR seeded from (field, sbox, n, t, R_F, R_P), bits
+ *    taken in pairs (a pair whose first bit is 0 is discarded),
+ *    round constants rejection-sampled below the modulus, and a
+ *    Cauchy MDS matrix M[i][j] = 1 / (x_i + y_j) from the same
+ *    stream. The derivation is deterministic, so the hard-coded
+ *    tables below are checked against an independent re-derivation
+ *    in the known-answer tests.
+ *
+ *  - PoseidonX5<Fr>: the BN254-parameterized instance the workload
+ *    suite proves (n = 254, t = 3, alpha = 5, R_F = 8, R_P = 57 --
+ *    the 128-bit-security setting of the Poseidon paper for 254-bit
+ *    primes), with hard-coded round constants and MDS matrix, plus a
+ *    straight-line reference evaluator (permute / hash2 / hashMany)
+ *    that the R1CS gadget in workload/builder.hh is tested against.
+ *
+ * The evaluator is deliberately independent of the circuit builder:
+ * the circuit is checked against this evaluator, the evaluator's
+ * constants against the Grain derivation, and the composition
+ * against pinned known-answer vectors in tests/test_poseidon.cc.
+ */
+
+#ifndef GZKP_ZKP_POSEIDON_HH
+#define GZKP_ZKP_POSEIDON_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace gzkp::zkp {
+
+/**
+ * The Grain-LFSR stream of the Poseidon reference parameter
+ * derivation. Templated on the field so the tests can re-derive the
+ * hard-coded tables for any instance.
+ */
+class PoseidonGrain
+{
+  public:
+    /**
+     * @param field 1 for GF(p) (the only mode used here)
+     * @param sbox  0 for x^alpha
+     * @param n     field size in bits
+     * @param t     state width
+     * @param rf    number of full rounds
+     * @param rp    number of partial rounds
+     */
+    PoseidonGrain(unsigned field, unsigned sbox, unsigned n, unsigned t,
+                  unsigned rf, unsigned rp)
+    {
+        std::size_t pos = 0;
+        auto push = [&](std::uint32_t v, unsigned bits) {
+            for (unsigned i = 0; i < bits; ++i)
+                state_[pos++] = (v >> (bits - 1 - i)) & 1;
+        };
+        push(field, 2);
+        push(sbox, 4);
+        push(n, 12);
+        push(t, 12);
+        push(rf, 10);
+        push(rp, 10);
+        while (pos < 80)
+            state_[pos++] = 1;
+        for (int i = 0; i < 160; ++i)
+            rawBit();
+    }
+
+    /** One filtered output bit (pairs with leading 0 are dropped). */
+    std::uint8_t
+    bit()
+    {
+        for (;;) {
+            std::uint8_t gate = rawBit();
+            std::uint8_t out = rawBit();
+            if (gate)
+                return out;
+        }
+    }
+
+    /**
+     * A field element from n filtered bits (MSB first), rejection
+     * sampled below the modulus exactly like the reference script's
+     * round-constant loop.
+     */
+    template <typename Fr>
+    Fr
+    fieldRejection(unsigned n)
+    {
+        for (;;) {
+            auto v = bits<Fr>(n);
+            if (v < Fr::modulus())
+                return Fr::fromBigInt(v);
+        }
+    }
+
+    /**
+     * A field element from n filtered bits reduced mod p (no
+     * rejection) -- the reference MDS sampling.
+     */
+    template <typename Fr>
+    Fr
+    fieldReduced(unsigned n)
+    {
+        auto v = bits<Fr>(n);
+        while (!(v < Fr::modulus())) {
+            typename Fr::Repr reduced;
+            Fr::Repr::sub(v, Fr::modulus(), reduced);
+            v = reduced;
+        }
+        return Fr::fromBigInt(v);
+    }
+
+    /** Derived parameters for one instance. */
+    template <typename Fr>
+    struct Derived {
+        std::vector<Fr> roundConstants; //!< (rf + rp) * t, in order
+        std::vector<Fr> mds;            //!< t * t, row-major
+    };
+
+    /**
+     * The full reference derivation: round constants first, then the
+     * Cauchy MDS from the same stream (x_1..x_t, y_1..y_t sampled
+     * reduced, M[i][j] = (x_i + y_j)^-1).
+     */
+    template <typename Fr>
+    static Derived<Fr>
+    derive(unsigned n, unsigned t, unsigned rf, unsigned rp)
+    {
+        PoseidonGrain g(1, 0, n, t, rf, rp);
+        Derived<Fr> d;
+        d.roundConstants.reserve(std::size_t(rf + rp) * t);
+        for (std::size_t i = 0; i < std::size_t(rf + rp) * t; ++i)
+            d.roundConstants.push_back(g.fieldRejection<Fr>(n));
+        std::vector<Fr> xs, ys;
+        for (unsigned i = 0; i < t; ++i)
+            xs.push_back(g.fieldReduced<Fr>(n));
+        for (unsigned i = 0; i < t; ++i)
+            ys.push_back(g.fieldReduced<Fr>(n));
+        d.mds.resize(std::size_t(t) * t);
+        for (unsigned i = 0; i < t; ++i)
+            for (unsigned j = 0; j < t; ++j)
+                d.mds[std::size_t(i) * t + j] =
+                    (xs[i] + ys[j]).inverse();
+        return d;
+    }
+
+  private:
+    std::uint8_t
+    rawBit()
+    {
+        std::uint8_t nb = state_[62] ^ state_[51] ^ state_[38] ^
+            state_[23] ^ state_[13] ^ state_[0];
+        for (int i = 0; i < 79; ++i)
+            state_[i] = state_[i + 1];
+        state_[79] = nb;
+        return nb;
+    }
+
+    template <typename Fr>
+    typename Fr::Repr
+    bits(unsigned n)
+    {
+        using Repr = typename Fr::Repr;
+        Repr v = Repr::zero();
+        for (unsigned i = 0; i < n; ++i) {
+            // Shift left by one limb-wise, then or in the next bit.
+            std::uint64_t carry = 0;
+            for (std::size_t l = 0; l < Repr::kLimbs; ++l) {
+                std::uint64_t next = v.limbs[l] >> 63;
+                v.limbs[l] = (v.limbs[l] << 1) | carry;
+                carry = next;
+            }
+            v.limbs[0] |= bit();
+        }
+        return v;
+    }
+
+    std::array<std::uint8_t, 80> state_{};
+};
+
+/**
+ * The x^5 Poseidon instance for 254-bit primes: t = 3 (one capacity
+ * element + rate 2), R_F = 8, R_P = 57. Constants are hard-coded hex
+ * (Grain-derived, see kPoseidonRoundConstants below) and parsed once
+ * per field type.
+ */
+template <typename Fr>
+class PoseidonX5
+{
+  public:
+    static constexpr unsigned kFieldBits = 254;
+    static constexpr unsigned kT = 3;
+    static constexpr unsigned kFullRounds = 8;
+    static constexpr unsigned kPartialRounds = 57;
+    static constexpr unsigned kAlpha = 5;
+    static constexpr std::size_t kNumConstants =
+        std::size_t(kFullRounds + kPartialRounds) * kT; // 195
+
+    using State = std::array<Fr, kT>;
+
+    /** The hard-coded round constants, parsed once. */
+    static const std::vector<Fr> &
+    roundConstants()
+    {
+        static const std::vector<Fr> c = parseConstants();
+        return c;
+    }
+
+    /** The hard-coded t x t MDS matrix, row-major, parsed once. */
+    static const std::vector<Fr> &
+    mds()
+    {
+        static const std::vector<Fr> m = parseMds();
+        return m;
+    }
+
+    /** x^5. */
+    static Fr
+    sbox(const Fr &x)
+    {
+        Fr x2 = x * x;
+        Fr x4 = x2 * x2;
+        return x4 * x;
+    }
+
+    /**
+     * The full permutation: R_F/2 full rounds, R_P partial rounds
+     * (S-box on state[0] only), R_F/2 full rounds. Each round adds
+     * t round constants, applies the S-box layer, then mixes with
+     * the MDS matrix.
+     */
+    static void
+    permute(State &s)
+    {
+        const auto &c = roundConstants();
+        std::size_t ci = 0;
+        for (unsigned r = 0; r < kFullRounds / 2; ++r)
+            round(s, c, ci, /*full=*/true);
+        for (unsigned r = 0; r < kPartialRounds; ++r)
+            round(s, c, ci, /*full=*/false);
+        for (unsigned r = 0; r < kFullRounds / 2; ++r)
+            round(s, c, ci, /*full=*/true);
+    }
+
+    /**
+     * Two-to-one sponge compression: capacity element 0, absorb the
+     * two inputs into the rate, squeeze the first state element.
+     */
+    static Fr
+    hash2(const Fr &l, const Fr &r)
+    {
+        State s = {Fr::zero(), l, r};
+        permute(s);
+        return s[0];
+    }
+
+    /** Left-to-right chain of hash2 over >= 1 inputs. */
+    static Fr
+    hashMany(const std::vector<Fr> &in)
+    {
+        if (in.empty())
+            throw std::invalid_argument("PoseidonX5::hashMany: empty");
+        if (in.size() == 1)
+            return hash2(in[0], Fr::zero());
+        Fr acc = hash2(in[0], in[1]);
+        for (std::size_t i = 2; i < in.size(); ++i)
+            acc = hash2(acc, in[i]);
+        return acc;
+    }
+
+  private:
+    static void
+    round(State &s, const std::vector<Fr> &c, std::size_t &ci,
+          bool full)
+    {
+        for (unsigned i = 0; i < kT; ++i)
+            s[i] += c[ci++];
+        s[0] = sbox(s[0]);
+        if (full) {
+            for (unsigned i = 1; i < kT; ++i)
+                s[i] = sbox(s[i]);
+        }
+        const auto &m = mds();
+        State out;
+        for (unsigned i = 0; i < kT; ++i) {
+            Fr acc = Fr::zero();
+            for (unsigned j = 0; j < kT; ++j)
+                acc += m[std::size_t(i) * kT + j] * s[j];
+            out[i] = acc;
+        }
+        s = out;
+    }
+
+    static std::vector<Fr> parseConstants();
+    static std::vector<Fr> parseMds();
+};
+
+/**
+ * Grain-derived constants for the (n=254, t=3, R_F=8, R_P=57, x^5)
+ * instance, as big-endian hex. Generated once from
+ * PoseidonGrain::derive() and pinned here; the known-answer tests
+ * re-derive them and fail on any mismatch, so neither the table nor
+ * the derivation can drift silently.
+ */
+extern const char *const kPoseidonRoundConstantsHex[195];
+extern const char *const kPoseidonMdsHex[9];
+
+template <typename Fr>
+std::vector<Fr>
+PoseidonX5<Fr>::parseConstants()
+{
+    std::vector<Fr> out;
+    out.reserve(kNumConstants);
+    for (std::size_t i = 0; i < kNumConstants; ++i)
+        out.push_back(Fr::fromHex(kPoseidonRoundConstantsHex[i]));
+    return out;
+}
+
+template <typename Fr>
+std::vector<Fr>
+PoseidonX5<Fr>::parseMds()
+{
+    std::vector<Fr> out;
+    out.reserve(std::size_t(kT) * kT);
+    for (std::size_t i = 0; i < std::size_t(kT) * kT; ++i)
+        out.push_back(Fr::fromHex(kPoseidonMdsHex[i]));
+    return out;
+}
+
+} // namespace gzkp::zkp
+
+#endif // GZKP_ZKP_POSEIDON_HH

@@ -13,6 +13,7 @@
 #ifndef GZKP_ZKP_R1CS_HH
 #define GZKP_ZKP_R1CS_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
 #include <utility>
@@ -32,6 +33,43 @@ struct LinComb {
     add(std::size_t var, const Fr &coeff)
     {
         terms.emplace_back(var, coeff);
+        return *this;
+    }
+
+    /** this += k * other, term-wise (no coalescing). */
+    LinComb &
+    addScaled(const LinComb &other, const Fr &k)
+    {
+        for (const auto &[v, c] : other.terms)
+            terms.emplace_back(v, c * k);
+        return *this;
+    }
+
+    /**
+     * Merge duplicate variables and drop zero coefficients. Gadgets
+     * that fold long linear layers (the Poseidon MDS mixing) call
+     * this after each mix so term counts stay proportional to the
+     * number of distinct variables instead of growing geometrically.
+     */
+    LinComb &
+    coalesce()
+    {
+        std::sort(terms.begin(), terms.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < terms.size();) {
+            std::size_t j = i + 1;
+            Fr sum = terms[i].second;
+            while (j < terms.size() &&
+                   terms[j].first == terms[i].first)
+                sum += terms[j++].second;
+            if (!sum.isZero())
+                terms[out++] = {terms[i].first, sum};
+            i = j;
+        }
+        terms.resize(out);
         return *this;
     }
 

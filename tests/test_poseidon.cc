@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Poseidon known-answer and circuit tests.
+ *
+ * The permutation is pinned twice over:
+ *  - against published reference vectors for the BN254 t=3 x^5
+ *    instance (the circomlib / go-iden3-crypto / hadeshash parameter
+ *    set), so the evaluator cannot drift from the ecosystem; and
+ *  - against a from-scratch Grain LFSR re-derivation of the round
+ *    constants and MDS matrix, so the baked hex tables in
+ *    poseidon_constants.cc cannot be silently edited.
+ *
+ * The R1CS gadgets are then checked against the evaluator (same
+ * digests, satisfiable) and adversarially (tampered witnesses and
+ * roots must fail).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testkit/rng.hh"
+#include "workload/workloads.hh"
+#include "zkp/families.hh"
+
+using namespace gzkp;
+using Fr = zkp::Bn254Family::Fr;
+using Poseidon = zkp::Bn254Family::Poseidon;
+
+static Fr
+hex(const char *s)
+{
+    return Fr::fromHex(s);
+}
+
+// ------------------------------------------------- reference vectors
+
+// poseidonperm_x5_254_3 reference permutation of (0, 1, 2), from the
+// hadeshash reference implementation's test vectors.
+TEST(PoseidonKat, ReferencePermutation012)
+{
+    Poseidon::State s = {Fr::zero(), Fr::fromUint64(1),
+                         Fr::fromUint64(2)};
+    Poseidon::permute(s);
+    EXPECT_EQ(s[0], hex("115cc0f5e7d690413df64c6b9662e9cf2a3617f27"
+                        "43245519e19607a4417189a"));
+    EXPECT_EQ(s[1], hex("fca49b798923ab0239de1c9e7a4a9a2210312b6a2f"
+                        "616d18b5a87f9b628ae29"));
+    EXPECT_EQ(s[2], hex("e7ae82e40091e63cbd4f16a6d16310b3729d4b6e13"
+                        "8fcf54110e2867045a30c"));
+}
+
+TEST(PoseidonKat, ReferencePermutationZeros)
+{
+    Poseidon::State s = {Fr::zero(), Fr::zero(), Fr::zero()};
+    Poseidon::permute(s);
+    EXPECT_EQ(s[0], hex("2098f5fb9e239eab3ceac3f27b81e481dc3124d55f"
+                        "fed523a839ee8446b64864"));
+    EXPECT_EQ(s[1], hex("13a545a13f1d91dddb87f46679dfaec0900ce24791"
+                        "a924bee7fa4d69a9569d85"));
+    EXPECT_EQ(s[2], hex("6be479e5fcd717c6c21b32f108033bf1da6cf4d8e3"
+                        "e8c48042c475e0b121480"));
+}
+
+// Sponge digests matching circomlib's poseidon(2) / go-iden3-crypto
+// (decimal values in the comments are the upstream test constants).
+TEST(PoseidonKat, ReferenceHash2Vectors)
+{
+    // poseidon(1, 2) ==
+    // 78532001207760628786847983640950724588150293760927320092494149
+    // 26327459813530
+    EXPECT_EQ(Poseidon::hash2(Fr::fromUint64(1), Fr::fromUint64(2)),
+              hex("115cc0f5e7d690413df64c6b9662e9cf2a3617f274324551"
+                  "9e19607a4417189a"));
+    // poseidon(3, 4) ==
+    // 14763215145315200506921711489642608356394854266165572616578112
+    // 107564877678998
+    EXPECT_EQ(Poseidon::hash2(Fr::fromUint64(3), Fr::fromUint64(4)),
+              hex("20a3af0435914ccd84b806164531b0cd36e37d4efb93efab"
+                  "76913a93e1f30996"));
+    // poseidon(0, 0): the ubiquitous Merkle zero-subtree hash,
+    // 14744269619966411208579211824598458697587494354926760081771325
+    // 075741142829156
+    EXPECT_EQ(Poseidon::hash2(Fr::zero(), Fr::zero()),
+              hex("2098f5fb9e239eab3ceac3f27b81e481dc3124d55ffed523"
+                  "a839ee8446b64864"));
+    EXPECT_EQ(Poseidon::hash2(Fr::fromUint64(31), Fr::fromUint64(41)),
+              hex("df54d99bb7f484da749b8013eef2c3290f8fb03c6a1075a4"
+                  "ed6f948bc5a18dd"));
+}
+
+// ------------------------------------------- parameter re-derivation
+
+// The baked hex tables must equal a from-scratch Grain LFSR run of
+// the reference parameter derivation (field=GF(p), x^5, n=254, t=3,
+// R_F=8, R_P=57). This is the full 195-constant + 3x3 MDS check.
+TEST(PoseidonKat, GrainDerivationMatchesBakedTables)
+{
+    auto derived = zkp::PoseidonGrain::derive<Fr>(
+        Poseidon::kFieldBits, Poseidon::kT, Poseidon::kFullRounds,
+        Poseidon::kPartialRounds);
+    const auto &baked_rc = Poseidon::roundConstants();
+    const auto &baked_mds = Poseidon::mds();
+    ASSERT_EQ(derived.roundConstants.size(), baked_rc.size());
+    ASSERT_EQ(derived.roundConstants.size(),
+              std::size_t(Poseidon::kNumConstants));
+    for (std::size_t i = 0; i < baked_rc.size(); ++i)
+        EXPECT_EQ(derived.roundConstants[i], baked_rc[i])
+            << "round constant " << i;
+    ASSERT_EQ(derived.mds.size(), baked_mds.size());
+    for (std::size_t i = 0; i < baked_mds.size(); ++i)
+        EXPECT_EQ(derived.mds[i], baked_mds[i]) << "mds " << i;
+    // Spot-pin the first constant so a bug that corrupts *both*
+    // sides identically still has to fake a literal.
+    EXPECT_EQ(baked_rc[0],
+              hex("ee9a592ba9a9518d05986d656f40c2114c4993c11bb2993"
+                  "8d21d47304cd8e6e"));
+}
+
+TEST(PoseidonKat, HashManyChainsHash2)
+{
+    std::vector<Fr> in = {Fr::fromUint64(1), Fr::fromUint64(2),
+                          Fr::fromUint64(3)};
+    Fr expect =
+        Poseidon::hash2(Poseidon::hash2(in[0], in[1]), in[2]);
+    EXPECT_EQ(Poseidon::hashMany(in), expect);
+}
+
+// ------------------------------------------------- circuit agreement
+
+TEST(PoseidonCircuit, Hash2GadgetMatchesEvaluator)
+{
+    testkit::Rng rng(101);
+    workload::Builder<Fr> b(0);
+    Fr lv = Fr::random(rng), rv = Fr::random(rng);
+    auto l = b.alloc(lv);
+    auto r = b.alloc(rv);
+    auto out = b.poseidonHash2(l, r);
+    EXPECT_EQ(b.value(out), Poseidon::hash2(lv, rv));
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+    // 3 constraints per S-box, 65 S-boxes, + 1 output binding.
+    EXPECT_EQ(b.cs().numConstraints(), 244u);
+}
+
+TEST(PoseidonCircuit, Hash2GadgetRejectsTamperedWitness)
+{
+    testkit::Rng rng(102);
+    workload::Builder<Fr> b(0);
+    auto l = b.alloc(Fr::random(rng));
+    auto r = b.alloc(Fr::random(rng));
+    b.poseidonHash2(l, r);
+    // Every allocated variable is load-bearing: bumping any one of
+    // them (inputs, S-box intermediates, or the output) must break
+    // at least one constraint.
+    const auto &z = b.assignment();
+    for (std::size_t v = 1; v < z.size(); ++v) {
+        auto tampered = z;
+        tampered[v] += Fr::one();
+        EXPECT_FALSE(b.cs().isSatisfied(tampered)) << "var " << v;
+    }
+}
+
+TEST(PoseidonCircuit, ChainCircuitSatisfiable)
+{
+    testkit::Rng rng(103);
+    auto b = workload::makePoseidonChainCircuit<Fr>(4, rng);
+    EXPECT_TRUE(b.cs().isSatisfied(b.assignment()));
+    // Tampering the public digest must break the binding constraint.
+    auto z = b.assignment();
+    z[1] += Fr::one();
+    EXPECT_FALSE(b.cs().isSatisfied(z));
+}
+
+// ------------------------------------------------- Merkle membership
+
+TEST(PoseidonCircuit, MerkleRootMatchesHostRecomputation)
+{
+    for (std::size_t arity : {std::size_t(2), std::size_t(3),
+                              std::size_t(4)}) {
+        workload::MerkleShape shape{3, arity, 7 % arity + arity};
+        testkit::Rng rng(200 + arity);
+        std::vector<Fr> sibs;
+        for (std::size_t i = 0; i < shape.depth * (arity - 1); ++i)
+            sibs.push_back(Fr::random(rng));
+        Fr leaf = Fr::random(rng);
+        auto b = workload::makePoseidonMerkleCircuit<Fr>(shape, leaf,
+                                                         sibs);
+        ASSERT_TRUE(b.cs().isSatisfied(b.assignment()))
+            << "arity " << arity;
+
+        // Recompute the root outside the circuit.
+        Fr cur = leaf;
+        std::size_t si = 0;
+        for (std::size_t lvl = 0; lvl < shape.depth; ++lvl) {
+            std::vector<Fr> kids;
+            for (std::size_t j = 0; j < arity; ++j) {
+                if (j == shape.slot(lvl))
+                    kids.push_back(cur);
+                else
+                    kids.push_back(sibs[si++]);
+            }
+            cur = Poseidon::hashMany(kids);
+        }
+        EXPECT_EQ(b.assignment()[1], cur) << "arity " << arity;
+    }
+}
+
+TEST(PoseidonCircuit, MerkleRejectsWrongRoot)
+{
+    testkit::Rng rng(300);
+    auto b = workload::makePoseidonMerkleCircuit<Fr>(3, 3, 13, rng);
+    ASSERT_TRUE(b.cs().isSatisfied(b.assignment()));
+    auto z = b.assignment();
+    z[1] += Fr::one(); // public root
+    EXPECT_FALSE(b.cs().isSatisfied(z));
+}
+
+TEST(PoseidonCircuit, MerkleRejectsWrongLeaf)
+{
+    testkit::Rng rng(301);
+    auto b = workload::makePoseidonMerkleCircuit<Fr>(2, 2, 1, rng);
+    ASSERT_TRUE(b.cs().isSatisfied(b.assignment()));
+    auto z = b.assignment();
+    z[2] += Fr::one(); // var 2 = the leaf (first alloc after publics)
+    EXPECT_FALSE(b.cs().isSatisfied(z));
+}
+
+TEST(PoseidonCircuit, MerkleSelectorSoundness)
+{
+    // The per-level selector, child copies, and hash intermediates
+    // are all pinned: no single-variable tamper of the witness can
+    // keep the system satisfied.
+    testkit::Rng rng(302);
+    auto b = workload::makePoseidonMerkleCircuit<Fr>(1, 3, 2, rng);
+    const auto &z = b.assignment();
+    ASSERT_TRUE(b.cs().isSatisfied(z));
+    for (std::size_t v = 1; v < z.size(); ++v) {
+        auto tampered = z;
+        tampered[v] += Fr::one();
+        EXPECT_FALSE(b.cs().isSatisfied(tampered)) << "var " << v;
+    }
+}
+
+TEST(PoseidonCircuit, MerkleShapeValidation)
+{
+    testkit::Rng rng(303);
+    EXPECT_THROW(workload::makePoseidonMerkleCircuit<Fr>(0, 2, 0, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::makePoseidonMerkleCircuit<Fr>(2, 1, 0, rng),
+                 std::invalid_argument);
+    workload::MerkleShape shape{2, 3, 0};
+    std::vector<Fr> short_material(3, Fr::one()); // needs 4
+    EXPECT_THROW(workload::makePoseidonMerkleCircuit<Fr>(
+                     shape, Fr::one(), short_material),
+                 std::invalid_argument);
+}

@@ -100,6 +100,20 @@ replay(const Args &a)
         rep.iterations = count;
         return report(rep);
     }
+    // --kind=workload replays one realistic-workload instance (random
+    // Poseidon Merkle shape + scalar regime through the prover
+    // pipeline). --size=N with N > 1 sweeps N consecutive seeds (the
+    // CI smoke).
+    if (a.kind == "workload") {
+        std::size_t count =
+            a.replaySize > 1 ? std::size_t(a.replaySize) : 1;
+        std::printf("workload: %zu instance(s) from --seed=%llu\n",
+                    count, (unsigned long long)a.seed);
+        for (std::size_t i = 0; i < count; ++i)
+            testkit::fuzzWorkloadInstance(a.seed + i, rep);
+        rep.iterations = count;
+        return report(rep);
+    }
     // --kind=proofdet replays a cross-thread-count proof-determinism
     // instance; it has no scalar mix or size.
     if (a.kind == "proofdet") {
@@ -169,12 +183,13 @@ main(int argc, char **argv)
                 stderr,
                 "usage: fuzz_driver [--iterations=N] [--seed=S] "
                 "[--seconds=T] [--max-size=N] "
-                "[--only=msm|ntt|groth16|fault] "
+                "[--only=msm|ntt|groth16|fault|workload] "
                 "[--verbose]\n       fuzz_driver --seed=S --size=N "
                 "--kind=K   (replay one instance; --kind=proofdet "
                 "replays a proof-determinism check; --kind=fault "
                 "sweeps N chaos plans; --kind=batchaffine sweeps "
-                "the accumulator/GLV cross-product)\n");
+                "the accumulator/GLV cross-product; --kind=workload "
+                "sweeps N realistic-workload instances)\n");
             return 2;
         }
     }
@@ -205,9 +220,12 @@ main(int argc, char **argv)
         opt.ntt = a.only == "ntt";
         opt.groth16 = a.only == "groth16";
         opt.fault = a.only == "fault";
+        opt.workload = a.only == "workload";
         opt.gpusim = opt.msm;
         if (opt.fault)
             opt.faultEvery = 1; // dedicated chaos sweep: every iter
+        if (opt.workload)
+            opt.workloadEvery = 1; // dedicated workload sweep
     }
     return report(testkit::fuzzAll(opt));
 }
