@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "ff/simd/dispatch.hh"
 #include "msm/msm_bellperson.hh"
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
@@ -44,16 +45,18 @@ emit(const char *engine, msm::Accumulator acc, msm::GlvMode glv,
      std::size_t log_n, std::size_t threads, double ns,
      double baseline_ns)
 {
-    char buf[256];
+    char buf[320];
     std::snprintf(
         buf, sizeof(buf),
         "{\"bench\":\"msm-hotpath\",\"engine\":\"%s\","
-        "\"accumulator\":\"%s\",\"glv\":\"%s\",\"log_n\":%zu,"
+        "\"accumulator\":\"%s\",\"glv\":\"%s\",\"isa\":\"%s\","
+        "\"log_n\":%zu,"
         "\"threads\":%zu,\"ns\":%.0f,\"speedup_vs_jacobian\":%.3f}",
         engine,
         acc == msm::Accumulator::BatchAffine ? "batchaffine"
                                              : "jacobian",
-        glv == msm::GlvMode::On ? "on" : "off", log_n, threads, ns,
+        glv == msm::GlvMode::On ? "on" : "off",
+        ff::simd::name(ff::simd::activeIsa()), log_n, threads, ns,
         baseline_ns / ns);
     std::printf("%s\n", buf);
     std::fflush(stdout);

@@ -13,17 +13,29 @@
  * the modulus as a hex string. All derived constants (Montgomery R,
  * R^2, -p^-1 mod 2^64, 2-adic root of unity, ...) are computed once
  * at first use.
+ *
+ * Single-element arithmetic is scalar CIOS (ff/simd/mont_scalar.hh)
+ * regardless of the host ISA. The *batch* entry points below
+ * (mulBatch, sqrBatch, mulcBatch, batchInverse, ...) route 4-limb
+ * fields through the runtime-dispatched vector kernels in
+ * ff/simd/dispatch.hh; every arm returns canonical fully-reduced
+ * values, so batch results are bit-identical to the scalar path.
  */
 
 #ifndef GZKP_FF_FP_HH
 #define GZKP_FF_FP_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ff/bigint.hh"
+#include "ff/simd/dispatch.hh"
+#include "ff/simd/mont_scalar.hh"
 
 namespace gzkp::ff {
 
@@ -79,47 +91,17 @@ modSub(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &p)
 /**
  * CIOS Montgomery multiplication: returns a * b * R^-1 mod p.
  * Inputs must be fully reduced (< p); the output is fully reduced.
+ * Thin wrapper over the shared scalar kernel in ff/simd so exactly
+ * one scalar CIOS implementation exists in the tree.
  */
 template <std::size_t N>
 inline BigInt<N>
 montMul(const BigInt<N> &a, const BigInt<N> &b, const MontParams<N> &pp)
 {
-    const auto &p = pp.modulus.limbs;
-    std::uint64_t t[N + 2] = {0};
-    for (std::size_t i = 0; i < N; ++i) {
-        // Multiplication step: t += a[i] * b.
-        std::uint64_t c = 0;
-        for (std::size_t j = 0; j < N; ++j) {
-            uint128 s = uint128(t[j]) + uint128(a.limbs[i]) * b.limbs[j] + c;
-            t[j] = std::uint64_t(s);
-            c = std::uint64_t(s >> 64);
-        }
-        uint128 s = uint128(t[N]) + c;
-        t[N] = std::uint64_t(s);
-        t[N + 1] = std::uint64_t(s >> 64);
-
-        // Reduction step: fold out one limb with m = t[0] * inv.
-        std::uint64_t m = t[0] * pp.inv;
-        s = uint128(t[0]) + uint128(m) * p[0];
-        c = std::uint64_t(s >> 64);
-        for (std::size_t j = 1; j < N; ++j) {
-            s = uint128(t[j]) + uint128(m) * p[j] + c;
-            t[j - 1] = std::uint64_t(s);
-            c = std::uint64_t(s >> 64);
-        }
-        s = uint128(t[N]) + c;
-        t[N - 1] = std::uint64_t(s);
-        t[N] = t[N + 1] + std::uint64_t(s >> 64);
-        t[N + 1] = 0;
-    }
     BigInt<N> r;
-    for (std::size_t i = 0; i < N; ++i)
-        r.limbs[i] = t[i];
-    if (t[N] != 0 || r >= pp.modulus) {
-        BigInt<N> tmp;
-        BigInt<N>::sub(r, pp.modulus, tmp);
-        return tmp;
-    }
+    simd::montMulLimbs<N>(r.limbs.data(), a.limbs.data(),
+                          b.limbs.data(), pp.modulus.limbs.data(),
+                          pp.inv);
     return r;
 }
 
@@ -414,26 +396,155 @@ class Fp
     Repr v_; // Montgomery form, always < p
 };
 
+//===--------------- dispatched batch entry points ---------------===//
+
+namespace detail {
+
 /**
- * Batch inversion with Montgomery's trick: replaces n inversions by
- * one inversion plus 3(n-1) multiplications.
- *
- * Zero handling is *skip-and-preserve*, and callers rely on it as a
- * contract (regression-tested in test_fp.cc): a zero entry stays
- * exactly zero and contributes nothing to the prefix products, so
- * every nonzero entry is still replaced by its true inverse. A naive
- * Montgomery chain would fold the zero into the running product and
- * return garbage for *every* element; here the forward pass records
- * the prefix before conditionally multiplying, and the backward pass
- * skips zeros when unwinding. The empty and all-zero vectors are
- * no-ops (inverse() maps the zero running product to zero).
- *
- * This is the shared inversion primitive of the batch-affine MSM
- * scheduler (msm/batch_affine.hh) and of ec::batchToAffine.
+ * True for field types the vector kernel layer can process: exactly
+ * 4 x 64-bit limbs laid out as raw storage. SFINAE-friendly so tower
+ * or wide fields (no kLimbs, or kLimbs != 4) fall through to the
+ * scalar loops without a compile error.
+ */
+template <typename T, typename = void>
+struct IsSimd4 : std::false_type {
+};
+
+template <typename T>
+struct IsSimd4<T, std::enable_if_t<T::kLimbs == 4>>
+    : std::bool_constant<sizeof(T) == 4 * sizeof(std::uint64_t)> {
+};
+
+template <typename FpT>
+inline std::uint64_t *
+limbPtr(FpT *p)
+{
+    static_assert(sizeof(FpT) == 4 * sizeof(std::uint64_t));
+    return reinterpret_cast<std::uint64_t *>(p);
+}
+
+template <typename FpT>
+inline const std::uint64_t *
+limbPtr(const FpT *p)
+{
+    static_assert(sizeof(FpT) == 4 * sizeof(std::uint64_t));
+    return reinterpret_cast<const std::uint64_t *>(p);
+}
+
+} // namespace detail
+
+/** Kernel-facing view of a 4-limb field's Montgomery parameters. */
+template <typename FpT>
+inline const simd::Mont4 &
+mont4Params()
+{
+    static_assert(detail::IsSimd4<FpT>::value,
+                  "mont4Params needs a 4-limb field");
+    static const simd::Mont4 m = [] {
+        simd::Mont4 mm;
+        const auto &pp = FpT::params();
+        for (std::size_t i = 0; i < 4; ++i)
+            mm.p[i] = pp.modulus.limbs[i];
+        mm.inv = pp.inv;
+        return mm;
+    }();
+    return m;
+}
+
+/**
+ * out[i] = a[i] * b[i] for i < n. For 4-limb fields this routes
+ * through the active ISA arm (simd::activeIsa()); other widths use
+ * the scalar path. out may alias a or b wholesale. Bit-identical to
+ * the element-wise scalar product on every arm.
  */
 template <typename FpT>
+inline void
+mulBatch(FpT *out, const FpT *a, const FpT *b, std::size_t n)
+{
+    if constexpr (detail::IsSimd4<FpT>::value) {
+        simd::kernels4().mul(detail::limbPtr(out), detail::limbPtr(a),
+                             detail::limbPtr(b), n,
+                             mont4Params<FpT>());
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * b[i];
+    }
+}
+
+/** out[i] = a[i]^2. */
+template <typename FpT>
+inline void
+sqrBatch(FpT *out, const FpT *a, std::size_t n)
+{
+    if constexpr (detail::IsSimd4<FpT>::value) {
+        simd::kernels4().sqr(detail::limbPtr(out), detail::limbPtr(a),
+                             n, mont4Params<FpT>());
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i].squared();
+    }
+}
+
+/** out[i] = a[i] * c for one shared c (NTT nInv scaling, twiddles). */
+template <typename FpT>
+inline void
+mulcBatch(FpT *out, const FpT *a, const FpT &c, std::size_t n)
+{
+    if constexpr (detail::IsSimd4<FpT>::value) {
+        simd::kernels4().mulc(detail::limbPtr(out), detail::limbPtr(a),
+                              detail::limbPtr(&c), n,
+                              mont4Params<FpT>());
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * c;
+    }
+}
+
+/** out[i] = a[i] + b[i]; aliasing as in mulBatch. */
+template <typename FpT>
+inline void
+addBatch(FpT *out, const FpT *a, const FpT *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = a[i] + b[i];
+}
+
+/** out[i] = a[i] - b[i]; aliasing as in mulBatch. */
+template <typename FpT>
+inline void
+subBatch(FpT *out, const FpT *a, const FpT *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = a[i] - b[i];
+}
+
+/**
+ * out[i] = a[i]^e for one shared standard-form exponent, by batched
+ * square-and-multiply (the whole batch shares the exponent's bit
+ * pattern, so every step is one sqrBatch and at most one mulBatch).
+ * out must not partially overlap a; out == a is allowed.
+ */
+template <typename FpT, std::size_t M>
+inline void
+powBatch(FpT *out, const FpT *a, const BigInt<M> &e, std::size_t n)
+{
+    std::vector<FpT> base(a, a + n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = FpT::one();
+    for (std::size_t i = e.numBits(); i-- > 0;) {
+        sqrBatch(out, out, n);
+        if (e.bit(i))
+            mulBatch(out, out, base.data(), n);
+    }
+}
+
+namespace detail {
+
+/** The classic serial Montgomery chain; see batchInverse for the
+ *  zero-handling contract. */
+template <typename FpT>
 void
-batchInverse(std::vector<FpT> &xs)
+batchInverseSerial(std::vector<FpT> &xs)
 {
     std::vector<FpT> prefix(xs.size());
     FpT acc = FpT::one();
@@ -450,6 +561,100 @@ batchInverse(std::vector<FpT> &xs)
         inv *= xs[i];
         xs[i] = x_inv;
     }
+}
+
+/**
+ * Lane-blocked batch inversion: L independent Montgomery chains, one
+ * per lane, advanced a row (L contiguous elements) at a time so every
+ * multiplication is a dispatched mulBatch. The L lane products plus
+ * the tail elements are then inverted together with one serial chain
+ * (one actual field inversion for the whole call), and the backward
+ * unwind replays the rows with two mulBatch per row.
+ *
+ * Zeros are substituted with one() in a cleaned copy (so chains stay
+ * invertible) and skipped on write-back, preserving the
+ * skip-and-preserve contract. Outputs are bit-identical to the serial
+ * path: each nonzero x gets its unique canonical inverse, whatever
+ * the grouping.
+ */
+template <typename FpT>
+void
+batchInverseBlocked(std::vector<FpT> &xs)
+{
+    constexpr std::size_t L = 16;
+    const std::size_t n = xs.size();
+    const std::size_t rows = n / L;
+    const std::size_t head = rows * L;
+
+    std::vector<FpT> xc(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xc[i] = xs[i].isZero() ? FpT::one() : xs[i];
+
+    std::vector<FpT> prefix(head);
+    std::array<FpT, L> acc;
+    acc.fill(FpT::one());
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::copy(acc.begin(), acc.end(), prefix.begin() + r * L);
+        mulBatch(acc.data(), acc.data(), xc.data() + r * L, L);
+    }
+
+    // One inversion covers the L lane products and the tail.
+    std::vector<FpT> combo(acc.begin(), acc.end());
+    combo.insert(combo.end(), xc.begin() + head, xc.end());
+    batchInverseSerial(combo);
+
+    for (std::size_t i = head; i < n; ++i)
+        if (!xs[i].isZero())
+            xs[i] = combo[L + (i - head)];
+
+    std::array<FpT, L> inv;
+    std::copy(combo.begin(), combo.begin() + L, inv.begin());
+    std::array<FpT, L> row_inv;
+    for (std::size_t r = rows; r-- > 0;) {
+        mulBatch(row_inv.data(), inv.data(), prefix.data() + r * L, L);
+        mulBatch(inv.data(), inv.data(), xc.data() + r * L, L);
+        for (std::size_t l = 0; l < L; ++l)
+            if (!xs[r * L + l].isZero())
+                xs[r * L + l] = row_inv[l];
+    }
+}
+
+} // namespace detail
+
+/**
+ * Batch inversion with Montgomery's trick: replaces n inversions by
+ * one inversion plus ~3n multiplications.
+ *
+ * Zero handling is *skip-and-preserve*, and callers rely on it as a
+ * contract (regression-tested in test_fp.cc): a zero entry stays
+ * exactly zero and contributes nothing to the prefix products, so
+ * every nonzero entry is still replaced by its true inverse. A naive
+ * Montgomery chain would fold the zero into the running product and
+ * return garbage for *every* element; here the forward pass records
+ * the prefix before conditionally multiplying, and the backward pass
+ * skips zeros when unwinding. The empty and all-zero vectors are
+ * no-ops (inverse() maps the zero running product to zero).
+ *
+ * Large 4-limb batches take the lane-blocked path so the ~3n
+ * multiplications run through the dispatched vector kernels; results
+ * are bit-identical either way. The threshold stays well above the
+ * crossover so small batches (batch-affine flush tails, tiny
+ * denominator sets) never pay the blocking overhead.
+ *
+ * This is the shared inversion primitive of the batch-affine MSM
+ * scheduler (msm/batch_affine.hh) and of ec::batchToAffine.
+ */
+template <typename FpT>
+void
+batchInverse(std::vector<FpT> &xs)
+{
+    if constexpr (detail::IsSimd4<FpT>::value) {
+        if (xs.size() >= 64) {
+            detail::batchInverseBlocked(xs);
+            return;
+        }
+    }
+    detail::batchInverseSerial(xs);
 }
 
 } // namespace gzkp::ff

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal arm registry for the dispatch layer.
+ *
+ * Each arm translation unit (portable.cc, avx2.cc, avx512.cc) defines
+ * its accessor; dispatch.cc stitches them together. The vector arms
+ * are only compiled (and only declared here) when CMake found the
+ * compiler flags, via the GZKP_FF_HAVE_* definitions applied to the
+ * gzkp_ff target.
+ */
+
+#ifndef GZKP_FF_SIMD_ARMS_HH
+#define GZKP_FF_SIMD_ARMS_HH
+
+#include "ff/simd/dispatch.hh"
+
+namespace gzkp::ff::simd::detail {
+
+const Kernels4 &portableKernels4();
+
+#ifdef GZKP_FF_HAVE_AVX2
+/** The AVX2 kernel table (compiled with -mavx2; call only after a
+ *  CPUID check). */
+const Kernels4 &avx2Kernels4();
+#endif
+
+#ifdef GZKP_FF_HAVE_AVX512
+/** The AVX-512 kernel table; picks the IFMA radix-52 kernels when the
+ *  host supports avx512ifma, else the 32-bit-digit kernels. */
+const Kernels4 &avx512Kernels4();
+#endif
+
+} // namespace gzkp::ff::simd::detail
+
+#endif // GZKP_FF_SIMD_ARMS_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Runtime ISA resolution for the batched Montgomery kernel layer.
+ *
+ * Resolution happens once and is cached in a relaxed atomic; the only
+ * hot-path cost of dispatch is that load plus an indirect call per
+ * *batch* (never per element -- single-element Fp arithmetic stays
+ * inline scalar).
+ */
+
+#include "ff/simd/dispatch.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "ff/simd/arms.hh"
+
+namespace gzkp::ff::simd {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+// Cached resolved arm (an Isa enumerator once resolved). Relaxed is
+// fine: the value is write-once-per-override and any racing reader
+// either sees the resolved arm or resolves it again to the same value.
+std::atomic<int> g_active{kUnresolved};
+
+// Programmatic override, guarded by g_mutex; kUnresolved = none.
+int g_override = kUnresolved;
+std::mutex g_mutex;
+
+// One-time notice when GZKP_FF_ISA asks for an arm this build/host
+// cannot run. CI's dispatch-matrix step greps for this marker to tell
+// "ran under the requested ISA" apart from "fell back".
+std::once_flag g_fallbackNotice;
+
+bool
+hostSupports(Isa isa)
+{
+    switch (isa) {
+    case Isa::Portable:
+        return true;
+    case Isa::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+    case Isa::Avx512:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx512f");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Isa
+resolve()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        if (g_override != kUnresolved)
+            return Isa(g_override);
+    }
+    const char *env = std::getenv("GZKP_FF_ISA");
+    if (env != nullptr && *env != '\0' &&
+        std::strcmp(env, "auto") != 0) {
+        Isa want;
+        if (parseIsa(env, want) && isaSupported(want))
+            return want;
+        std::call_once(g_fallbackNotice, [env] {
+            std::fprintf(stderr,
+                         "gzkp: GZKP_FF_ISA=%s not available on this "
+                         "build/host; falling back to portable\n",
+                         env);
+        });
+        return Isa::Portable;
+    }
+    return bestIsa();
+}
+
+} // namespace
+
+bool
+isaCompiled(Isa isa)
+{
+    switch (isa) {
+    case Isa::Portable:
+        return true;
+    case Isa::Avx2:
+#ifdef GZKP_FF_HAVE_AVX2
+        return true;
+#else
+        return false;
+#endif
+    case Isa::Avx512:
+#ifdef GZKP_FF_HAVE_AVX512
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+isaSupported(Isa isa)
+{
+    return isaCompiled(isa) && hostSupports(isa);
+}
+
+std::vector<Isa>
+supportedIsas()
+{
+    std::vector<Isa> out;
+    out.push_back(Isa::Portable);
+    if (isaSupported(Isa::Avx2))
+        out.push_back(Isa::Avx2);
+    if (isaSupported(Isa::Avx512))
+        out.push_back(Isa::Avx512);
+    return out;
+}
+
+Isa
+bestIsa()
+{
+    if (isaSupported(Isa::Avx512))
+        return Isa::Avx512;
+    if (isaSupported(Isa::Avx2))
+        return Isa::Avx2;
+    return Isa::Portable;
+}
+
+Isa
+activeIsa()
+{
+    int cached = g_active.load(std::memory_order_relaxed);
+    if (cached != kUnresolved)
+        return Isa(cached);
+    Isa resolved = resolve();
+    g_active.store(int(resolved), std::memory_order_relaxed);
+    return resolved;
+}
+
+void
+setActiveIsa(Isa isa)
+{
+    if (!isaSupported(isa))
+        throw std::invalid_argument(
+            std::string("gzkp: ISA arm '") + name(isa) +
+            "' is not supported on this build/host");
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_override = int(isa);
+    g_active.store(int(isa), std::memory_order_relaxed);
+}
+
+void
+clearActiveIsa()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_override = kUnresolved;
+    g_active.store(kUnresolved, std::memory_order_relaxed);
+}
+
+const char *
+describeActiveIsa()
+{
+    static std::mutex descMutex;
+    static std::string desc;
+    Isa isa = activeIsa();
+    const char *env = std::getenv("GZKP_FF_ISA");
+    std::lock_guard<std::mutex> lock(descMutex);
+    desc = std::string(name(isa)) + " (" + kernels4(isa).impl +
+           "), GZKP_FF_ISA=" +
+           (env != nullptr && *env != '\0' ? env : "auto");
+    return desc.c_str();
+}
+
+const Kernels4 &
+kernels4(Isa isa)
+{
+    switch (isa) {
+#ifdef GZKP_FF_HAVE_AVX2
+    case Isa::Avx2:
+        return detail::avx2Kernels4();
+#endif
+#ifdef GZKP_FF_HAVE_AVX512
+    case Isa::Avx512:
+        return detail::avx512Kernels4();
+#endif
+    default:
+        return detail::portableKernels4();
+    }
+}
+
+} // namespace gzkp::ff::simd

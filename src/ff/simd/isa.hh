@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Instruction-set identifiers for the vectorized field-arithmetic
+ * kernel layer.
+ *
+ * The enum is deliberately tiny and dependency-free: it is included
+ * by fp.hh (every field element in the repo) and by the arm
+ * translation units that are compiled with per-file ISA flags, so it
+ * must not pull in anything that could differ between those builds.
+ */
+
+#ifndef GZKP_FF_SIMD_ISA_HH
+#define GZKP_FF_SIMD_ISA_HH
+
+#include <cstddef>
+
+namespace gzkp::ff::simd {
+
+/**
+ * A dispatch arm of the Montgomery kernel layer. Ordered by
+ * preference: higher enumerators are picked over lower ones when the
+ * host supports them.
+ */
+enum class Isa {
+    Portable = 0, //!< unrolled scalar CIOS, always compiled
+    Avx2 = 1,     //!< 4-way 32-bit-digit CIOS (AVX2)
+    Avx512 = 2,   //!< 8-way CIOS (AVX-512F; IFMA radix-52 when present)
+};
+
+inline constexpr std::size_t kIsaCount = 3;
+
+/** Stable lowercase name, matching the GZKP_FF_ISA spellings. */
+inline const char *
+name(Isa isa)
+{
+    switch (isa) {
+    case Isa::Avx512:
+        return "avx512";
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Portable:
+    default:
+        return "portable";
+    }
+}
+
+/**
+ * Parse a GZKP_FF_ISA spelling ("portable" | "avx2" | "avx512").
+ * "auto" and null/empty are *not* accepted here -- the caller decides
+ * what automatic resolution means. Returns false on anything else.
+ */
+inline bool
+parseIsa(const char *spec, Isa &out)
+{
+    if (spec == nullptr)
+        return false;
+    auto eq = [&](const char *s) {
+        const char *a = spec;
+        for (; *a != '\0' && *s != '\0'; ++a, ++s)
+            if (*a != *s)
+                return false;
+        return *a == '\0' && *s == '\0';
+    };
+    if (eq("portable")) {
+        out = Isa::Portable;
+        return true;
+    }
+    if (eq("avx2")) {
+        out = Isa::Avx2;
+        return true;
+    }
+    if (eq("avx512")) {
+        out = Isa::Avx512;
+        return true;
+    }
+    return false;
+}
+
+} // namespace gzkp::ff::simd
+
+#endif // GZKP_FF_SIMD_ISA_HH

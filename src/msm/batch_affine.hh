@@ -22,7 +22,14 @@
  *  - a cancellation (x1 == x2, y1 == -y2) just clears the slot;
  *  - when kBatch adds are staged, one ff::batchInverse over the
  *    staged denominators resolves the whole round with cheap affine
- *    chord additions.
+ *    chord additions, and the chord formulas themselves run as
+ *    batched field ops through the dispatched vector kernels;
+ *  - a *small* final round (fewer than kMinAffineRound staged adds,
+ *    the tail a window drain leaves behind) is cheaper as plain
+ *    Jacobian mixed adds than as a shared inversion whose fixed cost
+ *    nothing amortizes, so it drains to the side accumulators
+ *    instead. This is what restored the batch-affine win at small n
+ *    (2^14 single-thread), where per-window tails dominated.
  *
  * Determinism: a slot's value depends only on the sequence of points
  * added to it (affine coordinates are the canonical representation of
@@ -103,6 +110,24 @@ class BatchAffineAccumulator
     /** Staged adds per shared inversion. */
     static constexpr std::size_t kBatch = 256;
 
+    // Cost model in field-multiplication equivalents, used by the
+    // small-round routing decision and exposed via modeledMulCost()
+    // so tests can pin "batch-affine never does more work than
+    // Jacobian" as an invariant instead of a timing assertion.
+    static constexpr double kChordMuls = 6.0;    //!< 3 chord + 3 inv share
+    static constexpr double kMixedAddMuls = 11.0;
+    static constexpr double kDoublingMuls = 9.0;
+    static constexpr double kInversionMuls = 320.0; //!< Fermat inverse
+
+    /**
+     * Below this staged-round size the shared inversion's fixed cost
+     * exceeds what the chord saves: flushing costs
+     * kChordMuls * s + kInversionMuls, side-routing costs
+     * kMixedAddMuls * s; breakeven at s = 320 / 5 = 64.
+     */
+    static constexpr std::size_t kMinAffineRound =
+        std::size_t(kInversionMuls / (kMixedAddMuls - kChordMuls));
+
     explicit BatchAffineAccumulator(std::size_t slots = 0)
     {
         reset(slots);
@@ -163,30 +188,67 @@ class BatchAffineAccumulator
 
     /**
      * Resolve the staged round: one shared inversion, then a chord
-     * addition per staged slot. Safe to call with nothing staged.
+     * addition per staged slot, all as batched field ops. Rounds too
+     * small to amortize the inversion (see kMinAffineRound) drain to
+     * the Jacobian side accumulators instead -- the group value of
+     * every slot is the same either way, only the cost changes.
+     * Safe to call with nothing staged.
      */
     void
     flush()
     {
-        if (!staged_.empty()) {
-            // Denominators are nonzero by construction (x1 != x2),
-            // but batchInverse's skip-and-preserve zero handling
-            // makes a bug here loud (a zero survives and the curve
-            // check in tests catches the off-curve result) rather
-            // than corrupting neighbouring entries.
-            ff::batchInverse(denoms_);
-            ++inversions_;
-            for (std::size_t i = 0; i < staged_.size(); ++i) {
-                Affine &acc = cur_[staged_[i].slot];
-                const Affine &p = staged_[i].p;
-                Field lambda = (p.y - acc.y) * denoms_[i];
-                Field x3 = lambda.squared() - acc.x - p.x;
-                Field y3 = lambda * (acc.x - x3) - acc.y;
-                acc = Affine(x3, y3);
-            }
+        if (staged_.empty()) {
+            ++epoch_;
+            return;
+        }
+        if (staged_.size() < kMinAffineRound) {
+            for (const Staged &s : staged_)
+                side_[s.slot] = side_[s.slot].addMixed(s.p);
+            sideRouted_ += staged_.size();
             staged_.clear();
             denoms_.clear();
+            ++epoch_;
+            return;
         }
+        // Denominators are nonzero by construction (x1 != x2),
+        // but batchInverse's skip-and-preserve zero handling
+        // makes a bug here loud (a zero survives and the curve
+        // check in tests catches the off-curve result) rather
+        // than corrupting neighbouring entries.
+        ff::batchInverse(denoms_);
+        ++inversions_;
+        // Chord formulas over gathered coordinate rows:
+        //   lambda = (p.y - acc.y) / (p.x - acc.x)
+        //   x3 = lambda^2 - acc.x - p.x
+        //   y3 = lambda * (acc.x - x3) - acc.y
+        // Same per-element operation sequence as the scalar form, so
+        // results are bit-identical on every dispatch arm.
+        const std::size_t n = staged_.size();
+        ax_.resize(n);
+        ay_.resize(n);
+        px_.resize(n);
+        py_.resize(n);
+        lambda_.resize(n);
+        x3_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Affine &acc = cur_[staged_[i].slot];
+            ax_[i] = acc.x;
+            ay_[i] = acc.y;
+            px_[i] = staged_[i].p.x;
+            py_[i] = staged_[i].p.y;
+        }
+        ff::subBatch(lambda_.data(), py_.data(), ay_.data(), n);
+        ff::mulBatch(lambda_.data(), lambda_.data(), denoms_.data(), n);
+        ff::sqrBatch(x3_.data(), lambda_.data(), n);
+        ff::subBatch(x3_.data(), x3_.data(), ax_.data(), n);
+        ff::subBatch(x3_.data(), x3_.data(), px_.data(), n);
+        ff::subBatch(ax_.data(), ax_.data(), x3_.data(), n);
+        ff::mulBatch(ax_.data(), lambda_.data(), ax_.data(), n);
+        ff::subBatch(ay_.data(), ax_.data(), ay_.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            cur_[staged_[i].slot] = Affine(x3_[i], ay_[i]);
+        staged_.clear();
+        denoms_.clear();
         ++epoch_;
     }
 
@@ -217,6 +279,32 @@ class BatchAffineAccumulator
     std::uint64_t inversions() const { return inversions_; }
     std::uint64_t collisions() const { return collisions_; }
     std::uint64_t doublings() const { return doublings_; }
+    /** Staged adds that a small round resolved as Jacobian side adds
+     *  instead of chords (a subset of affineAdds()). */
+    std::uint64_t sideRouted() const { return sideRouted_; }
+
+    /**
+     * Field-mul-equivalent cost of the work performed so far under
+     * the file's cost model. The small-round pin test asserts this
+     * never exceeds the all-Jacobian cost of the same add sequence.
+     */
+    double
+    modeledMulCost() const
+    {
+        return double(affineAdds_ - sideRouted_) * kChordMuls +
+               double(inversions_) * kInversionMuls +
+               double(collisions_ + sideRouted_) * kMixedAddMuls +
+               double(doublings_) * (kDoublingMuls + kMixedAddMuls);
+    }
+
+    /** The all-Jacobian cost of the same add sequence, for the pin
+     *  (sideRouted is a subset of affineAdds, not extra adds). */
+    double
+    jacobianMulCost() const
+    {
+        return double(affineAdds_ + collisions_ + doublings_) *
+               kMixedAddMuls;
+    }
 
   private:
     struct Staged {
@@ -230,10 +318,14 @@ class BatchAffineAccumulator
     std::uint32_t epoch_ = 1;
     std::vector<Staged> staged_;
     std::vector<Field> denoms_;
+    // Coordinate rows gathered per flush (kept as members so repeated
+    // rounds reuse the allocations).
+    std::vector<Field> ax_, ay_, px_, py_, lambda_, x3_;
     std::uint64_t affineAdds_ = 0;
     std::uint64_t inversions_ = 0;
     std::uint64_t collisions_ = 0;
     std::uint64_t doublings_ = 0;
+    std::uint64_t sideRouted_ = 0;
 };
 
 /**

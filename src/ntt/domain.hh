@@ -78,6 +78,25 @@ class Domain
         return inv_[(std::size_t(1) << iter) - 1 + j];
     }
 
+    /**
+     * Contiguous lane twiddles of one iteration: twiddleRow(iter)[j]
+     * == twiddle(iter, j) for j < 2^iter. The per-iteration layout
+     * makes the butterfly inner loop a straight batched multiply
+     * (ntt/butterfly.hh) with no gather.
+     */
+    const Fr *
+    twiddleRow(std::size_t iter) const
+    {
+        return fwd_.data() + (std::size_t(1) << iter) - 1;
+    }
+
+    /** Inverse-transform row of the same layout. */
+    const Fr *
+    twiddleInvRow(std::size_t iter) const
+    {
+        return inv_.data() + (std::size_t(1) << iter) - 1;
+    }
+
     /** Total unique twiddles (N - 1), the paper's storage bound. */
     std::size_t twiddleCount() const { return fwd_.size(); }
 

@@ -19,6 +19,7 @@
 
 #include "faultsim/faultsim.hh"
 #include "gpusim/perf_model.hh"
+#include "ntt/butterfly.hh"
 #include "ntt/domain.hh"
 
 namespace gzkp::ntt {
@@ -59,17 +60,34 @@ nttInPlace(const Domain<Fr> &dom, std::vector<Fr> &a, bool invert = false)
             std::swap(a[i], a[j]);
     }
 
+    // Scratch for the batched butterfly rows; the largest row is the
+    // final iteration's n/2 lanes.
+    std::vector<Fr> scratch(n / 2);
+
     for (std::size_t iter = 0; iter < log_n; ++iter) {
         std::size_t half = std::size_t(1) << iter;
         std::size_t len = half << 1;
-        for (std::size_t start = 0; start < n; start += len) {
-            for (std::size_t j = 0; j < half; ++j) {
-                const Fr &w = invert ? dom.twiddleInv(iter, j)
-                                     : dom.twiddle(iter, j);
-                Fr u = a[start + j];
-                Fr v = a[start + j + half] * w;
-                a[start + j] = u + v;
-                a[start + j + half] = u - v;
+        if (half >= 8) {
+            // Wide iterations: each block's lane pairs are contiguous
+            // rows (u = a[start..], v = a[start+half..]) and the
+            // iteration's twiddles are a contiguous row, so the whole
+            // inner loop is batched field ops through the dispatched
+            // vector kernels. Bit-identical to the scalar loop below.
+            const Fr *w = invert ? dom.twiddleInvRow(iter)
+                                 : dom.twiddleRow(iter);
+            for (std::size_t start = 0; start < n; start += len)
+                butterflyRows(a.data() + start, a.data() + start + half,
+                              w, half, scratch.data());
+        } else {
+            for (std::size_t start = 0; start < n; start += len) {
+                for (std::size_t j = 0; j < half; ++j) {
+                    const Fr &w = invert ? dom.twiddleInv(iter, j)
+                                         : dom.twiddle(iter, j);
+                    Fr u = a[start + j];
+                    Fr v = a[start + j + half] * w;
+                    a[start + j] = u + v;
+                    a[start + j + half] = u - v;
+                }
             }
         }
         // Simulated soft error: one butterfly output of this
@@ -80,10 +98,8 @@ nttInPlace(const Domain<Fr> &dom, std::vector<Fr> &a, bool invert = false)
                                       iter);
     }
 
-    if (invert) {
-        for (std::size_t i = 0; i < n; ++i)
-            a[i] *= dom.nInv();
-    }
+    if (invert)
+        ff::mulcBatch(a.data(), a.data(), dom.nInv(), n);
 }
 
 /**

@@ -34,6 +34,7 @@
 #include "gpusim/device.hh"
 #include "gpusim/memtrace.hh"
 #include "gpusim/perf_model.hh"
+#include "ntt/butterfly.hh"
 #include "ntt/domain.hh"
 
 namespace gzkp::ntt {
@@ -188,13 +189,14 @@ class ShuffledNtt
         }
 
         std::size_t b = effectiveB(dev);
-        std::vector<Fr> staged;
+        std::vector<Fr> staged, scratch;
         for (const Batch &bt : makeBatches(log_n, b)) {
             faultsim::checkLaunch("ntt.bg.batch", bt.startIter);
             std::size_t bb = bt.iters;
             std::size_t gsz = std::size_t(1) << bb;
             std::size_t groups = n / gsz;
             staged.resize(gsz);
+            scratch.resize(gsz); // twiddle row + butterfly scratch
             for (std::size_t u = 0; u < groups; ++u) {
                 std::size_t base = groupBase(u, bt.startIter, bb);
                 std::size_t stride = std::size_t(1) << bt.startIter;
@@ -202,7 +204,8 @@ class ShuffledNtt
                 // (one GPU block per group).
                 for (std::size_t j = 0; j < gsz; ++j)
                     staged[j] = a[base + j * stride];
-                butterfliesInGroup(dom, staged, base, bt, invert);
+                butterfliesInGroup(dom, staged, base, bt,
+                                   scratch.data(), invert);
                 for (std::size_t j = 0; j < gsz; ++j)
                     a[base + j * stride] = staged[j];
             }
@@ -211,10 +214,8 @@ class ShuffledNtt
                 "ntt.bg.batch", bt.startIter);
         }
 
-        if (invert) {
-            for (std::size_t i = 0; i < n; ++i)
-                a[i] *= dom.nInv();
-        }
+        if (invert)
+            ff::mulcBatch(a.data(), a.data(), dom.nInv(), n);
     }
 
     /** Model statistics at any scale (no functional run needed). */
@@ -335,7 +336,7 @@ class ShuffledNtt
   private:
     void
     butterfliesInGroup(const Domain<Fr> &dom, std::vector<Fr> &g,
-                       std::size_t base, const Batch &bt,
+                       std::size_t base, const Batch &bt, Fr *scratch,
                        bool invert) const
     {
         std::size_t s0 = bt.startIter;
@@ -343,6 +344,24 @@ class ShuffledNtt
         for (std::size_t t = 0; t < bt.iters; ++t) {
             std::size_t iter = s0 + t;
             std::size_t half = std::size_t(1) << t;
+            if (half >= 8) {
+                // Lane pairs are block-contiguous runs of `half`; the
+                // twiddle indices are strided by 2^s0 but shared by
+                // every run of this iteration, so one gather feeds
+                // all batched butterfly rows. `scratch` (gsz wide)
+                // holds the gathered row and the multiply scratch.
+                Fr *wrow = scratch;
+                Fr *mrow = scratch + half;
+                for (std::size_t l = 0; l < half; ++l) {
+                    std::size_t tw = (base & low_mask) + (l << s0);
+                    wrow[l] = invert ? dom.twiddleInv(iter, tw)
+                                     : dom.twiddle(iter, tw);
+                }
+                for (std::size_t j0 = 0; j0 < g.size(); j0 += 2 * half)
+                    butterflyRows(&g[j0], &g[j0 + half], wrow, half,
+                                  mrow);
+                continue;
+            }
             for (std::size_t j = 0; j < g.size(); ++j) {
                 if (j & half)
                     continue;
@@ -419,6 +438,7 @@ class GzkpNtt
 
         std::size_t b = effectiveB(log_n);
         std::vector<Fr> shared; // the modeled per-SM shared memory
+        std::vector<Fr> scratch;
         for (const Batch &bt : makeBatches(log_n, b)) {
             faultsim::checkLaunch("ntt.gzkp.batch", bt.startIter);
             std::size_t bb = bt.iters;
@@ -427,6 +447,7 @@ class GzkpNtt
             std::size_t stride = std::size_t(1) << bt.startIter;
             std::size_t g = blockGroups(bt, log_n, dev);
             shared.resize(g * gsz);
+            scratch.resize(gsz); // twiddle row + butterfly scratch
             for (std::size_t u0 = 0; u0 < groups; u0 += g) {
                 std::size_t gcnt = std::min(g, groups - u0);
                 // Internal shuffle in: the union of the block's G
@@ -443,7 +464,7 @@ class GzkpNtt
                     std::size_t base =
                         groupBase(u0 + c, bt.startIter, bb);
                     butterflies(dom, &shared[c * gsz], gsz, base, bt,
-                                invert);
+                                scratch.data(), invert);
                 }
                 // Internal shuffle out: reverse movement.
                 for (std::size_t c = 0; c < gcnt; ++c) {
@@ -458,10 +479,8 @@ class GzkpNtt
                 "ntt.gzkp.batch", bt.startIter);
         }
 
-        if (invert) {
-            for (std::size_t i = 0; i < n; ++i)
-                a[i] *= dom.nInv();
-        }
+        if (invert)
+            ff::mulcBatch(a.data(), a.data(), dom.nInv(), n);
     }
 
     NttStats
@@ -529,13 +548,30 @@ class GzkpNtt
 
     void
     butterflies(const Domain<Fr> &dom, Fr *g, std::size_t gsz,
-                std::size_t base, const Batch &bt, bool invert) const
+                std::size_t base, const Batch &bt, Fr *scratch,
+                bool invert) const
     {
         std::size_t s0 = bt.startIter;
         std::size_t low_mask = (std::size_t(1) << s0) - 1;
         for (std::size_t t = 0; t < bt.iters; ++t) {
             std::size_t iter = s0 + t;
             std::size_t half = std::size_t(1) << t;
+            if (half >= 8) {
+                // Same batched-row scheme as ShuffledNtt: gather the
+                // group's strided twiddle row once, then batch every
+                // contiguous lane-pair run through the kernels.
+                Fr *wrow = scratch;
+                Fr *mrow = scratch + half;
+                for (std::size_t l = 0; l < half; ++l) {
+                    std::size_t tw = (base & low_mask) + (l << s0);
+                    wrow[l] = invert ? dom.twiddleInv(iter, tw)
+                                     : dom.twiddle(iter, tw);
+                }
+                for (std::size_t j0 = 0; j0 < gsz; j0 += 2 * half)
+                    butterflyRows(g + j0, g + j0 + half, wrow, half,
+                                  mrow);
+                continue;
+            }
             for (std::size_t j = 0; j < gsz; ++j) {
                 if (j & half)
                     continue;

@@ -21,7 +21,11 @@
  *    model is fuzzed as a checked contract too;
  *  - fault: seeded chaos plans (testkit/chaos.hh) driven through the
  *    self-checking prover pipeline; every run must end in a verifying
- *    proof or a typed gzkp::Status -- never a bad proof.
+ *    proof or a typed gzkp::Status -- never a bad proof;
+ *  - ffdispatch: random field-op programs (batch mul/sqr/mulc/add/
+ *    sub/pow/inverse over ff/fp.hh entry points) replayed under every
+ *    compiled SIMD ISA arm; results must be limb-identical to the
+ *    portable arm, pinning the field core's bit-identity invariant.
  *
  * On divergence the failing instance is greedily shrunk and the
  * report carries a self-contained repro line (--seed=S --size=N
@@ -33,11 +37,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ec/curves.hh"
+#include "ff/simd/dispatch.hh"
 #include "faultsim/faultsim.hh"
 #include "msm/msm_bellperson.hh"
 #include "msm/msm_gzkp.hh"
@@ -69,6 +75,7 @@ struct FuzzOptions {
     bool gpusim = true;
     bool fault = true;
     bool workload = true;
+    bool ffdispatch = true;
     std::uint64_t groth16Every = 40; //!< proofs are expensive
     std::uint64_t faultEvery = 16;   //!< chaos runs prove repeatedly
     std::uint64_t workloadEvery = 64; //!< full Merkle prove per hit
@@ -674,6 +681,161 @@ fuzzWorkloadInstance(std::uint64_t seed, FuzzReport &rep)
     }
 }
 
+// --------------------------------------------------------- ffdispatch
+
+/** Repro fragment for a cross-ISA field-dispatch instance. */
+inline std::string
+ffDispatchRepro(std::uint64_t seed, std::size_t size)
+{
+    std::ostringstream os;
+    os << "--seed=" << seed << " --size=" << size
+       << " --kind=ffdispatch";
+    return os.str();
+}
+
+/**
+ * A random field-op program over two state vectors `a` and `b`: each
+ * op code maps to one batch entry point of ff/fp.hh. Replaying the
+ * same program under every compiled ISA arm must produce limb-
+ * identical state -- every arm returns canonical fully-reduced
+ * Montgomery values, so any divergence is an arm bug, not a
+ * representation choice.
+ */
+struct FfDispatchProgram {
+    std::vector<ff::Bn254Fr> init; //!< initial state
+    std::vector<std::uint8_t> ops; //!< op codes, see runFfDispatch
+};
+
+inline FfDispatchProgram
+ffDispatchProgram(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FfDispatchProgram p;
+    std::size_t n = std::max<std::size_t>(size, 1);
+    ScalarMix mix = ScalarMix(rng() % kScalarMixCount);
+    p.init = scalarVector<ff::Bn254Fr>(n, mix, rng);
+    p.ops.resize(2 + rng() % 14);
+    for (auto &op : p.ops)
+        op = std::uint8_t(rng() % 7);
+    return p;
+}
+
+/** Replay a program under the currently active ISA arm. */
+inline std::vector<ff::Bn254Fr>
+runFfDispatch(const FfDispatchProgram &p)
+{
+    using Fr = ff::Bn254Fr;
+    const std::size_t n = p.init.size();
+    std::vector<Fr> a = p.init;
+    std::vector<Fr> b(p.init.rbegin(), p.init.rend());
+    static const ff::BigInt<2> kExp =
+        ff::BigInt<2>::fromHex("1f3a9c0d5b");
+    for (std::uint8_t op : p.ops) {
+        switch (op % 7) {
+        case 0:
+            ff::mulBatch(a.data(), a.data(), b.data(), n);
+            break;
+        case 1:
+            ff::sqrBatch(b.data(), a.data(), n);
+            break;
+        case 2:
+            ff::mulcBatch(a.data(), b.data(), b[n / 2], n);
+            break;
+        case 3:
+            ff::addBatch(b.data(), b.data(), a.data(), n);
+            break;
+        case 4:
+            ff::subBatch(a.data(), a.data(), b.data(), n);
+            break;
+        case 5:
+            ff::batchInverse(a);
+            break;
+        case 6:
+            ff::powBatch(b.data(), b.data(), kExp, n);
+            break;
+        }
+    }
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+namespace detail {
+
+/** RAII pin of the active field-kernel ISA. */
+struct ScopedIsa {
+    explicit ScopedIsa(ff::simd::Isa isa)
+    {
+        ff::simd::setActiveIsa(isa);
+    }
+    ~ScopedIsa() { ff::simd::clearActiveIsa(); }
+};
+
+} // namespace detail
+
+/**
+ * One cross-ISA differential: run the program under the portable arm,
+ * then under every other arm this host supports, and compare limbs.
+ * On divergence the program is greedily shrunk (drop ops, then halve
+ * the state) and the repro line replays from the fuzz_driver CLI.
+ */
+inline void
+fuzzFfDispatchInstance(std::uint64_t seed, std::size_t size,
+                       FuzzReport &rep)
+{
+    namespace simd = ff::simd;
+    auto p = ffDispatchProgram(size, seed);
+
+    auto diverges = [](const FfDispatchProgram &prog)
+        -> std::optional<std::string> {
+        std::vector<ff::Bn254Fr> ref;
+        {
+            detail::ScopedIsa g(simd::Isa::Portable);
+            ref = runFfDispatch(prog);
+        }
+        for (simd::Isa isa : simd::supportedIsas()) {
+            if (isa == simd::Isa::Portable)
+                continue;
+            detail::ScopedIsa g(isa);
+            auto got = runFfDispatch(prog);
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                if (!(got[i] == ref[i])) {
+                    std::ostringstream os;
+                    os << simd::name(isa)
+                       << " diverges from portable at element " << i;
+                    return os.str();
+                }
+            }
+        }
+        return std::nullopt;
+    };
+
+    if (!diverges(p))
+        return;
+    // Greedy shrink: drop ops one at a time, then halve the state
+    // vector, for as long as the divergence persists.
+    for (std::size_t i = 0; i < p.ops.size();) {
+        FfDispatchProgram cand = p;
+        cand.ops.erase(cand.ops.begin() + i);
+        if (diverges(cand))
+            p = std::move(cand);
+        else
+            ++i;
+    }
+    while (p.init.size() > 1) {
+        FfDispatchProgram cand = p;
+        cand.init.resize(p.init.size() / 2);
+        if (!diverges(cand))
+            break;
+        p = std::move(cand);
+    }
+    auto msg = diverges(p);
+    std::ostringstream detail;
+    detail << (msg ? *msg : std::string("divergence")) << "; shrunk to n="
+           << p.init.size() << ", " << p.ops.size() << " op(s)";
+    rep.failures.push_back(
+        {"ffdispatch", ffDispatchRepro(seed, size), detail.str()});
+}
+
 // ------------------------------------------------------------- gpusim
 
 /**
@@ -793,6 +955,14 @@ fuzzAll(const FuzzOptions &opt,
         // A full setup+prove per hit: the sparsest slot of all.
         if (opt.workload && i % opt.workloadEvery == 13)
             fuzzWorkloadInstance(deriveSeed(opt.seed, i, 10), rep);
+        // Cheap (pure field ops); run densely so the ISA arms see
+        // every scalar regime the other targets see.
+        if (opt.ffdispatch && i % 4 == 2) {
+            std::size_t fsz =
+                1 + deriveSeed(opt.seed, i, 12) % 96;
+            fuzzFfDispatchInstance(deriveSeed(opt.seed, i, 11), fsz,
+                                   rep);
+        }
 
         ++rep.iterations;
         if (opt.verbose && (i + 1) % 100 == 0) {

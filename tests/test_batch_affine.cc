@@ -128,6 +128,37 @@ TEST(BatchAffineScheduler, IdentityInputsAreNoOps)
     EXPECT_EQ(acc.affineAdds(), 0u);
 }
 
+TEST(BatchAffineScheduler, SmallRoundsNeverCostMoreThanJacobian)
+{
+    // The 2^14 single-thread regression (BENCH_msm_hotpath.json):
+    // per-window drain tails paid a full shared inversion for a
+    // handful of staged adds, making batch-affine *slower* than the
+    // Jacobian path at small n. The small-round side routing
+    // (kMinAffineRound) must keep the modeled multiplication cost at
+    // or below the all-Jacobian cost of the same add sequence for
+    // every feed size -- especially the ones whose final round is too
+    // small to amortize an inversion.
+    constexpr std::size_t kSlots = 128;
+    for (std::size_t npts : {24, 150, 200, 640, 1000}) {
+        auto pts = randomAffine(npts, 103 + npts);
+        BatchAffineAccumulator<Cfg> acc(kSlots);
+        std::vector<Pt> ref(kSlots, Pt::identity());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            std::size_t slot = (i * 2654435761u) % kSlots;
+            acc.add(slot, pts[i]);
+            ref[slot] = ref[slot].addMixed(pts[i]);
+        }
+        acc.flush();
+        for (std::size_t s = 0; s < kSlots; ++s)
+            EXPECT_EQ(acc.result(s), ref[s])
+                << "npts=" << npts << " slot " << s;
+        EXPECT_LE(acc.modeledMulCost(), acc.jacobianMulCost())
+            << "npts=" << npts << " affineAdds=" << acc.affineAdds()
+            << " sideRouted=" << acc.sideRouted()
+            << " inversions=" << acc.inversions();
+    }
+}
+
 TEST(BatchAffineScheduler, ReduceWeightedMatchesJacobianReference)
 {
     constexpr std::size_t kSlots = 16;

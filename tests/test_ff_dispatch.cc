@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Cross-arm differential suite for the vectorized Montgomery field
+ * core (ff/simd).
+ *
+ * The layer's contract is *bit-identity*, not numeric equality: every
+ * dispatch arm returns the fully-reduced canonical Montgomery
+ * representation, so any two correct arms agree at limb granularity
+ * on every input. These tests hold every compiled arm to that
+ * contract against the portable reference on biased inputs (0, 1,
+ * p-1, p +/- small, digit-boundary and Montgomery-boundary raw
+ * values), then push the invariant end to end: a Poseidon-Merkle
+ * Groth16 proof must serialize to the same bytes under every arm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ff/field_tags.hh"
+#include "ff/fp.hh"
+#include "ff/simd/dispatch.hh"
+#include "msm/batch_affine.hh"
+#include "testkit/generators.hh"
+#include "workload/workloads.hh"
+#include "zkp/families.hh"
+#include "zkp/groth16.hh"
+#include "zkp/groth16_bn254.hh"
+#include "zkp/qap.hh"
+#include "zkp/serialize.hh"
+
+using namespace gzkp;
+using ff::simd::Isa;
+
+using Fr = ff::Bn254Fr;
+using Fq = ff::Bn254Fq;
+using WideFq = ff::Bls381Fq; // 6 limbs: must bypass the vector arms
+
+namespace {
+
+/** Pin an arm for a scope; restores auto resolution on exit. */
+struct IsaGuard {
+    explicit IsaGuard(Isa isa) { ff::simd::setActiveIsa(isa); }
+    ~IsaGuard() { ff::simd::clearActiveIsa(); }
+};
+
+/**
+ * Biased element pool: algebraic boundaries (0, 1, -1, small, p -
+ * small), raw Montgomery boundaries (representation 1, p-1 -- legal
+ * raw values that no fromBigInt round trip would pick first), 32-bit
+ * digit boundaries that stress the vector kernels' digit splits, and
+ * random fill.
+ */
+template <typename FpT>
+std::vector<FpT>
+biasedPool(std::size_t n, std::uint64_t seed)
+{
+    using Repr = typename FpT::Repr;
+    const Repr &p = FpT::modulus();
+
+    std::vector<FpT> pool;
+    pool.push_back(FpT::zero());
+    pool.push_back(FpT::one());
+    pool.push_back(-FpT::one()); // p - 1 as a field value
+    for (std::uint64_t s : {1ull, 2ull, 3ull, 0xffffffffull,
+                            0x100000000ull, ~0ull}) {
+        pool.push_back(FpT::fromUint64(s));
+        pool.push_back(-FpT::fromUint64(s)); // p - small
+    }
+    // Raw Montgomery boundary values: any raw < p is a valid element.
+    auto pushRaw = [&](Repr r) {
+        if (r < p)
+            pool.push_back(FpT::fromRaw(r));
+    };
+    pushRaw(Repr::one());
+    Repr pm1;
+    Repr::sub(p, Repr::one(), pm1);
+    pushRaw(pm1);
+    // Digit-boundary patterns: alternating 32-bit halves, all-ones
+    // low limb, single bits at limb boundaries.
+    Repr alt;
+    for (std::size_t i = 0; i < FpT::kLimbs; ++i)
+        alt.limbs[i] = 0x00000000ffffffffull;
+    pushRaw(alt);
+    for (std::size_t i = 0; i < FpT::kLimbs; ++i)
+        alt.limbs[i] = 0xffffffff00000000ull;
+    pushRaw(alt);
+    for (std::size_t b = 0; b < FpT::kLimbs * 64; b += 52) {
+        Repr bit;
+        bit.limbs[b / 64] = std::uint64_t(1) << (b % 64);
+        pushRaw(bit);
+    }
+
+    testkit::Rng rng(seed);
+    while (pool.size() < n)
+        pool.push_back(FpT::random(rng));
+    pool.resize(n);
+    return pool;
+}
+
+template <typename FpT>
+::testing::AssertionResult
+limbsEqual(const FpT &a, const FpT &b)
+{
+    if (a.raw() == b.raw())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "limb mismatch: " << a.toHex() << " vs " << b.toHex();
+}
+
+/**
+ * Run every batch entry point under `isa` and compare limb-for-limb
+ * against the portable results computed up front.
+ */
+template <typename FpT>
+void
+expectArmMatchesPortable(Isa isa, std::uint64_t seed)
+{
+    // Sizes straddle the kernels' internal strides (4- and 8-wide
+    // blocks plus scalar tails) and batchInverse's blocked threshold.
+    for (std::size_t n : {1, 3, 7, 8, 15, 64, 257}) {
+        auto a = biasedPool<FpT>(n, seed);
+        auto b = biasedPool<FpT>(n, seed + 1);
+        const FpT c = a[n / 2];
+        const auto e = ff::BigInt<2>::fromHex("1f3a9c0d5b");
+
+        std::vector<FpT> mulP(n), sqrP(n), mulcP(n), addP(n), subP(n),
+            powP(n);
+        {
+            IsaGuard g(Isa::Portable);
+            ff::mulBatch(mulP.data(), a.data(), b.data(), n);
+            ff::sqrBatch(sqrP.data(), a.data(), n);
+            ff::mulcBatch(mulcP.data(), a.data(), c, n);
+            ff::addBatch(addP.data(), a.data(), b.data(), n);
+            ff::subBatch(subP.data(), a.data(), b.data(), n);
+            ff::powBatch(powP.data(), a.data(), e, n);
+        }
+        std::vector<FpT> invP = a;
+        {
+            IsaGuard g(Isa::Portable);
+            ff::batchInverse(invP);
+        }
+
+        IsaGuard g(isa);
+        std::vector<FpT> out(n);
+        ff::mulBatch(out.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], mulP[i]))
+                << "mul n=" << n << " i=" << i;
+        ff::sqrBatch(out.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], sqrP[i]))
+                << "sqr n=" << n << " i=" << i;
+        ff::mulcBatch(out.data(), a.data(), c, n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], mulcP[i]))
+                << "mulc n=" << n << " i=" << i;
+        ff::addBatch(out.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], addP[i]))
+                << "add n=" << n << " i=" << i;
+        ff::subBatch(out.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], subP[i]))
+                << "sub n=" << n << " i=" << i;
+        ff::powBatch(out.data(), a.data(), e, n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(out[i], powP[i]))
+                << "pow n=" << n << " i=" << i;
+
+        // batchInverse with zeros sprinkled in (a has a leading zero
+        // from the pool): the skip-and-preserve contract plus bit
+        // identity must both survive the blocked vector path.
+        std::vector<FpT> inv = a;
+        ff::batchInverse(inv);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(inv[i], invP[i]))
+                << "batchInverse n=" << n << " i=" << i;
+
+        // Scalar single-element ops are ISA-independent by design
+        // (always inline scalar CIOS); pin that too.
+        for (std::size_t i = 0; i < std::min<std::size_t>(n, 8); ++i) {
+            EXPECT_TRUE(limbsEqual(a[i] * b[i], mulP[i]));
+            EXPECT_TRUE(limbsEqual(a[i].inverse(),
+                                   a[i].isZero() ? FpT::zero()
+                                                 : invP[i]));
+        }
+
+        // In-place aliasing: out == a must behave as documented.
+        std::vector<FpT> alias = a;
+        ff::mulBatch(alias.data(), alias.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(alias[i], mulP[i]))
+                << "alias mul n=" << n << " i=" << i;
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------- dispatch mechanics
+
+TEST(FfDispatch, SupportedIsasStartWithPortable)
+{
+    auto isas = ff::simd::supportedIsas();
+    ASSERT_FALSE(isas.empty());
+    EXPECT_EQ(isas.front(), Isa::Portable);
+    for (Isa isa : isas)
+        EXPECT_TRUE(ff::simd::isaSupported(isa));
+    // bestIsa is one of them.
+    EXPECT_TRUE(ff::simd::isaSupported(ff::simd::bestIsa()));
+}
+
+TEST(FfDispatch, SetActiveIsaRejectsUnsupportedArms)
+{
+    for (int i = 0; i < int(ff::simd::kIsaCount); ++i) {
+        Isa isa = Isa(i);
+        if (ff::simd::isaSupported(isa)) {
+            IsaGuard g(isa);
+            EXPECT_EQ(ff::simd::activeIsa(), isa);
+            EXPECT_NE(ff::simd::kernels4(isa).impl, nullptr);
+        } else {
+            EXPECT_THROW(ff::simd::setActiveIsa(isa),
+                         std::invalid_argument);
+        }
+    }
+    EXPECT_NE(ff::simd::describeActiveIsa(), nullptr);
+}
+
+TEST(FfDispatch, ParseIsaAcceptsExactSpellingsOnly)
+{
+    Isa out;
+    EXPECT_TRUE(ff::simd::parseIsa("portable", out));
+    EXPECT_EQ(out, Isa::Portable);
+    EXPECT_TRUE(ff::simd::parseIsa("avx2", out));
+    EXPECT_EQ(out, Isa::Avx2);
+    EXPECT_TRUE(ff::simd::parseIsa("avx512", out));
+    EXPECT_EQ(out, Isa::Avx512);
+    EXPECT_FALSE(ff::simd::parseIsa("auto", out));
+    EXPECT_FALSE(ff::simd::parseIsa("", out));
+    EXPECT_FALSE(ff::simd::parseIsa("AVX2", out));
+    EXPECT_FALSE(ff::simd::parseIsa(nullptr, out));
+    for (int i = 0; i < int(ff::simd::kIsaCount); ++i) {
+        EXPECT_TRUE(ff::simd::parseIsa(ff::simd::name(Isa(i)), out));
+        EXPECT_EQ(out, Isa(i));
+    }
+}
+
+// ------------------------------------------- cross-arm bit identity
+
+TEST(FfDispatchDifferential, EveryArmMatchesPortableOnBn254Fr)
+{
+    for (Isa isa : ff::simd::supportedIsas())
+        expectArmMatchesPortable<Fr>(isa, 0xf00d);
+}
+
+TEST(FfDispatchDifferential, EveryArmMatchesPortableOnBn254Fq)
+{
+    for (Isa isa : ff::simd::supportedIsas())
+        expectArmMatchesPortable<Fq>(isa, 0xbeef);
+}
+
+TEST(FfDispatchDifferential, WideFieldsBypassTheVectorArms)
+{
+    // 6-limb fields have no vector kernels; the batch API must give
+    // the scalar results under every arm (the IsSimd4 routing).
+    for (Isa isa : ff::simd::supportedIsas())
+        expectArmMatchesPortable<WideFq>(isa, 0xcafe);
+}
+
+TEST(FfDispatchDifferential, BlockedBatchInverseMatchesSerial)
+{
+    // Straddle the blocked threshold (64) and the lane width (16),
+    // with zeros at lane boundaries.
+    for (std::size_t n : {63, 64, 65, 80, 96, 255, 1024}) {
+        auto xs = biasedPool<Fr>(n, n * 31);
+        for (std::size_t i = 0; i < n; i += 17)
+            xs[i] = Fr::zero();
+        std::vector<Fr> serial = xs, blocked = xs;
+        ff::detail::batchInverseSerial(serial);
+        ff::detail::batchInverseBlocked(blocked);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(limbsEqual(blocked[i], serial[i]))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+// ------------------------------------------------ end-to-end proofs
+
+TEST(FfDispatchProofs, PoseidonMerkleProofBytesIdenticalPerArm)
+{
+    using Family = zkp::Bn254Family;
+    using G16 = zkp::Groth16<Family>;
+
+    testkit::Rng crng(61);
+    auto b = workload::makePoseidonMerkleCircuit<Fr>(2, 2, 1, crng);
+    testkit::Rng srng(testkit::deriveSeed(61, 1));
+    auto keys = G16::setup(b.cs(), srng);
+
+    std::string base;
+    for (Isa isa : ff::simd::supportedIsas()) {
+        IsaGuard g(isa);
+        testkit::Rng prng(testkit::deriveSeed(61, 2));
+        auto proof = G16::prove(keys.pk, b.cs(), b.assignment(), prng,
+                                nullptr, zkp::CpuNttEngine<Fr>(), 1);
+        auto text = zkp::serializeProof<Family>(proof);
+        if (base.empty()) {
+            base = text;
+            std::vector<Fr> pub(b.assignment().begin() + 1,
+                                b.assignment().begin() + 1 +
+                                    b.cs().numPublic());
+            EXPECT_TRUE(zkp::verifyBn254(keys.vk, proof, pub));
+        } else {
+            EXPECT_EQ(text, base) << "isa=" << ff::simd::name(isa);
+        }
+    }
+}

@@ -114,6 +114,23 @@ replay(const Args &a)
         rep.iterations = count;
         return report(rep);
     }
+    // --kind=ffdispatch replays one cross-ISA field-op program: the
+    // seeded program is regenerated and run under every compiled SIMD
+    // arm against the portable reference. --size=N sets the state
+    // width; the surrounding sweep uses N > 1 to cover the vector
+    // kernels' full-block and tail paths alike.
+    if (a.kind == "ffdispatch") {
+        std::size_t n = std::max<std::size_t>(
+            a.replaySize > 0 ? std::size_t(a.replaySize) : 1, 1);
+        std::printf(
+            "replaying --seed=%llu --size=%zu --kind=ffdispatch "
+            "(arms: %s)\n",
+            (unsigned long long)a.seed, n,
+            gzkp::ff::simd::describeActiveIsa());
+        testkit::fuzzFfDispatchInstance(a.seed, n, rep);
+        rep.iterations = 1;
+        return report(rep);
+    }
     // --kind=proofdet replays a cross-thread-count proof-determinism
     // instance; it has no scalar mix or size.
     if (a.kind == "proofdet") {
@@ -183,13 +200,15 @@ main(int argc, char **argv)
                 stderr,
                 "usage: fuzz_driver [--iterations=N] [--seed=S] "
                 "[--seconds=T] [--max-size=N] "
-                "[--only=msm|ntt|groth16|fault|workload] "
+                "[--only=msm|ntt|groth16|fault|workload|ffdispatch] "
                 "[--verbose]\n       fuzz_driver --seed=S --size=N "
                 "--kind=K   (replay one instance; --kind=proofdet "
                 "replays a proof-determinism check; --kind=fault "
                 "sweeps N chaos plans; --kind=batchaffine sweeps "
                 "the accumulator/GLV cross-product; --kind=workload "
-                "sweeps N realistic-workload instances)\n");
+                "sweeps N realistic-workload instances; "
+                "--kind=ffdispatch replays a cross-ISA field-op "
+                "program)\n");
             return 2;
         }
     }
@@ -221,6 +240,7 @@ main(int argc, char **argv)
         opt.groth16 = a.only == "groth16";
         opt.fault = a.only == "fault";
         opt.workload = a.only == "workload";
+        opt.ffdispatch = a.only == "ffdispatch";
         opt.gpusim = opt.msm;
         if (opt.fault)
             opt.faultEvery = 1; // dedicated chaos sweep: every iter
