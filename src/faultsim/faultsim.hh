@@ -41,6 +41,21 @@
  * relaxed atomic load -- and with an *empty* plan installed, probes
  * never fire and never touch data, so proof bytes are identical to a
  * run without faultsim (asserted by tests/test_chaos.cc).
+ *
+ * Probe-site vocabulary (substring-matchable): the prover sites
+ * (msm.gzkp[.bucket|.preprocess|.kernel], msm.bellperson, msm.serial,
+ * ntt.cpu, groth16.poly.h) plus the serving layer's --
+ *  - service.queue:       admission enqueue/dispatch failures;
+ *  - service.cache.build: artifact build allocation failures;
+ *  - service.cache.table: post-build corruption of a cached table;
+ *  - service.shed:        spurious admission shed (overload control
+ *                         rejecting work it did not have to);
+ *  - service.hedge:       hedge launch failure (downgrades the
+ *                         request to the unhedged path);
+ *  - service.breaker:     lying health signal (a healthy backend is
+ *                         spuriously denied by the circuit breaker).
+ * The service.* sites perturb routing and admission only; they can
+ * never corrupt a proof (asserted by the overload chaos sweep).
  */
 
 #ifndef GZKP_FAULTSIM_FAULTSIM_HH

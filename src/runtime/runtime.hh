@@ -54,6 +54,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -205,6 +206,30 @@ class CancelToken
             throw CancelledError();
         if (expired())
             throw DeadlineExceededError();
+    }
+
+    /**
+     * The effective absolute deadline: the earliest of this token's
+     * own deadline and every ancestor's, or nullopt when none in the
+     * chain has one. The service uses this to compute the remaining
+     * budget that drives queue-time shedding and hedge triggers.
+     */
+    std::optional<Clock::time_point>
+    deadline() const
+    {
+        std::optional<Clock::time_point> best;
+        std::int64_t d = deadlineNs_.load(std::memory_order_relaxed);
+        if (d != kNoDeadline)
+            best = Clock::time_point(std::chrono::duration_cast<
+                                     Clock::duration>(
+                std::chrono::nanoseconds(d)));
+        const CancelToken *p = parent_.load(std::memory_order_acquire);
+        if (p != nullptr) {
+            auto up = p->deadline();
+            if (up && (!best || *up < *best))
+                best = up;
+        }
+        return best;
     }
 
   private:

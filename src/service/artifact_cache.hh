@@ -20,7 +20,9 @@
  *    shared_ptr, so eviction never invalidates a running proof;
  *  - single-flight: concurrent getOrBuild() calls for one key run the
  *    builder exactly once; the others block on a condition variable
- *    and share the result (or retry the build if it failed);
+ *    and share the result. A *failed* build broadcasts its typed
+ *    error to every waiter (no dog-pile of retries) and erases the
+ *    placeholder, so a later getOrBuild() starts a fresh build;
  *  - miss-under-pressure: an artifact larger than the whole budget is
  *    never admitted -- getOrBuild() returns kResourceExhausted and the
  *    caller decides (ProofService proves uncached);
@@ -291,16 +293,27 @@ class ArtifactCache
                     *hit = true;
                 return it->second.ptr;
             }
-            // Another caller is building this key: wait for it
-            // (single-flight) and re-check -- on build failure the
-            // placeholder vanishes and this caller becomes the builder.
+            // Another caller is building this key: wait on its
+            // BuildState (single-flight). Success re-loops into the
+            // hit path; failure propagates the builder's typed error
+            // to this waiter -- the placeholder is already erased, so
+            // a *later* getOrBuild() starts a fresh build, but the
+            // waiters of the failed flight never dog-pile a retry.
             ++stats_.singleFlightWaits;
-            cv_.wait(lk);
+            std::shared_ptr<BuildState> flight = it->second.flight;
+            cv_.wait(lk, [&] { return flight->done; });
+            if (!flight->status.isOk())
+                return flight->status;
         }
         ++stats_.misses;
         if (hit)
             *hit = false;
-        entries_.emplace(key, Entry{}); // !ready marks "building"
+        auto flight = std::make_shared<BuildState>();
+        {
+            Entry placeholder;
+            placeholder.flight = flight; // !ready marks "building"
+            entries_.emplace(key, std::move(placeholder));
+        }
         lk.unlock();
 
         StatusOr<ArtifactPtr> built = build();
@@ -309,19 +322,23 @@ class ArtifactCache
         if (!built.isOk()) {
             ++stats_.buildFailures;
             entries_.erase(key);
+            flight->done = true;
+            flight->status = built.status().withContext("service.cache");
             cv_.notify_all();
-            return built.status().withContext("service.cache");
+            return flight->status;
         }
         ++stats_.builds;
         std::uint64_t bytes = (*built)->bytes();
         if (bytes > budget_) {
             ++stats_.overBudget;
             entries_.erase(key);
-            cv_.notify_all();
-            return resourceExhaustedError(
+            flight->done = true;
+            flight->status = resourceExhaustedError(
                 "service.cache: artifact of " + std::to_string(bytes) +
                 " bytes exceeds cache budget of " +
                 std::to_string(budget_) + " bytes");
+            cv_.notify_all();
+            return flight->status;
         }
         evictUntilFits(bytes);
         Entry &e = entries_[key];
@@ -330,6 +347,7 @@ class ArtifactCache
         e.bytes = bytes;
         e.lastUse = ++clock_;
         bytesInUse_ += bytes;
+        flight->done = true;
         cv_.notify_all();
         return e.ptr;
     }
@@ -360,11 +378,19 @@ class ArtifactCache
     }
 
   private:
+    /** One in-flight build, shared by the builder and its waiters. */
+    struct BuildState {
+        bool done = false;  //!< guarded by the cache mutex
+        Status status;      //!< the build's outcome when done
+        ArtifactPtr ptr;    //!< kept so the state outlives the entry
+    };
+
     struct Entry {
         bool ready = false;
         ArtifactPtr ptr;
         std::uint64_t bytes = 0;
         std::uint64_t lastUse = 0;
+        std::shared_ptr<BuildState> flight; //!< while !ready
     };
 
     /** Caller holds mu_. Evict LRU Ready entries until it fits. */

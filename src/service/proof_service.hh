@@ -1,41 +1,69 @@
 /**
  * @file
- * ProofService: a batched, multi-tenant, in-process proving service.
+ * ProofService: a batched, multi-tenant, overload-hardened in-process
+ * proving service.
  *
  * Front end for many concurrent proof requests over a set of
  * registered circuits, built from the pieces the rest of the tree
  * already provides:
  *
- *  - admission control: a bounded request queue; submit() past the
- *    high-watermark rejects with kResourceExhausted instead of
- *    queueing unbounded work (backpressure the caller can see);
+ *  - fair-share scheduling: requests carry a tenant id and a
+ *    priority; a per-tenant deficit-round-robin queue (fair_queue.hh)
+ *    replaces the PR-4 FIFO, so a burst tenant can fill its own share
+ *    of the queue but not starve the others. Weights come from
+ *    Options::tenantWeights or the GZKP_TENANT_WEIGHTS environment
+ *    variable;
+ *  - admission control & load shedding: a bounded queue rejects past
+ *    the high-watermark with kResourceExhausted, and deadline-aware
+ *    admission (admission.hh) rejects with kDeadlineExceeded when the
+ *    online per-circuit cost model says the deadline cannot be met at
+ *    the current backlog. Queued work is re-checked at dequeue so
+ *    doomed requests are shed, not proved, and a proof that finishes
+ *    after its deadline is dropped (typed error), never delivered --
+ *    the service completes zero proofs past their deadline;
+ *  - backend health: a shared BackendHealth registry
+ *    (backend_health.hh) watches every prover attempt across all
+ *    requests; open circuit breakers make SelfCheckingProver skip a
+ *    browned-out backend outright instead of paying its retry budget
+ *    on every request;
+ *  - hedged retry: when the remaining deadline budget falls below a
+ *    p99-derived threshold (or Options::forceHedge), the proof is
+ *    launched on the next healthy backend concurrently and the first
+ *    valid result wins; the loser is cancelled through a child
+ *    CancelToken. Proof bytes depend only on (circuit, witness, seed)
+ *    -- never on the backend -- so a hedged winner is byte-identical
+ *    to the unhedged proof;
  *  - shared artifacts: each batch resolves its circuit through the
  *    ArtifactCache, so Algorithm-1 preprocessing and NTT twiddle
  *    tables are paid once per circuit, not once per proof. A cache
- *    miss-under-pressure (artifact larger than the whole budget)
- *    downgrades to proving uncached -- never a failure;
- *  - batching: the scheduler pops the oldest request and drags every
- *    queued request for the *same circuit* (up to maxBatch) into the
- *    batch, sharing one cache resolution across all of them;
- *  - deadlines & cancellation: each request may carry a timeout; the
- *    per-request CancelToken is parent-linked to the service-wide
- *    shutdown token, so shutdownNow() stops every in-flight proof at
- *    the next chunk boundary;
- *  - self-checking proving: every proof goes through
- *    SelfCheckingProver (structural + pairing self-check, bounded
- *    retries, backend demotion), with the cached artifacts installed
- *    on the GZKP tier only -- a poisoned cache entry demotes instead
- *    of escaping;
- *  - observability: stats() snapshots accepted/rejected/completed
- *    counters, queue depths, per-stage latency totals, and the cache
- *    counters.
+ *    miss-under-pressure downgrades to proving uncached -- never a
+ *    failure;
+ *  - batching: the scheduler pops one request by fair share, then
+ *    drags every queued request for the *same circuit* (up to
+ *    maxBatch) into the batch, sharing one cache resolution.
+ *    Coalescing does not consume the tenants' deficit -- it is a
+ *    cache optimization, not a scheduling decision;
+ *  - deadlines & cancellation: each request's CancelToken is
+ *    parent-linked to the service-wide shutdown token, so
+ *    shutdownNow() stops every in-flight proof (both arms of a hedged
+ *    pair) at the next chunk boundary;
+ *  - observability: stats() returns one consistent mutex-guarded
+ *    snapshot -- counters, shed/hedge breakdowns, per-tenant
+ *    aggregates, breaker states and the cache counters all copied
+ *    under a single critical section (no field-by-field tearing).
  *
  * Determinism: the scheduler itself is sequential (one drain at a
  * time); parallelism lives inside each proof via the deterministic
- * runtime. Drained from a single thread, the cache hit/miss/eviction
- * sequence and every proof byte are independent of GZKP_THREADS.
- * Under concurrent submitters the *aggregate* stats are still
- * deterministic (single-flight pins builds to one per circuit).
+ * runtime. The DRR dequeue order is a pure function of the push
+ * sequence and the weights. Shedding decisions depend on measured
+ * durations and are therefore timing-dependent -- but they only
+ * select *which* typed error a request gets, never the bytes of a
+ * delivered proof.
+ *
+ * Fault sites (see faultsim.hh): "service.queue" (admission
+ * alloc/launch), "service.shed" (spurious admission shed),
+ * "service.hedge" (hedge launch failure -> downgrade to unhedged),
+ * "service.breaker" (lying health signal, see backend_health.hh).
  */
 
 #ifndef GZKP_SERVICE_PROOF_SERVICE_HH
@@ -46,6 +74,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -53,8 +82,12 @@
 #include <utility>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "runtime/runtime.hh"
+#include "service/admission.hh"
 #include "service/artifact_cache.hh"
+#include "service/backend_health.hh"
+#include "service/fair_queue.hh"
 #include "status/status.hh"
 #include "zkp/prover_pipeline.hh"
 
@@ -85,6 +118,11 @@ class ProofService
     struct Options {
         /** Admission high-watermark: submit() rejects past this. */
         std::size_t maxQueueDepth = 64;
+        /** Per-tenant depth bound; 0 = only the shared bound. Needed
+            for weighted fairness under saturation: it keeps one
+            tenant's backlog from filling the shared queue and
+            blinding admission to tenancy. */
+        std::size_t maxQueuePerTenant = 0;
         /** Same-circuit requests coalesced per drain. */
         std::size_t maxBatch = 8;
         std::size_t threads = 0;       //!< 0 = GZKP_THREADS default
@@ -92,14 +130,37 @@ class ProofService
         std::size_t maxAttemptsPerBackend = 2;
         std::size_t preprocessAttempts = 3;
         bool selfCheck = true;
+
+        /** Deadline-aware admission + queue-time shedding. */
+        bool admissionControl = true;
+        /** Cost-model multiplier in the feasibility check. */
+        double admissionSafety = 1.0;
+
+        /** Cross-request backend health with circuit breakers. */
+        bool healthTracking = true;
+        /** Share a registry across services (nullptr = own one). */
+        BackendHealth *health = nullptr;
+        BackendHealth::Options healthOptions;
+
+        /** Hedged retry on the next healthy backend. */
+        bool hedging = true;
+        /** Hedge when remaining budget < hedgeFactor * p99(circuit). */
+        double hedgeFactor = 1.5;
+        /** Hedge every request regardless of budget (tests/bench). */
+        bool forceHedge = false;
+
+        /** Initial tenant weights; GZKP_TENANT_WEIGHTS overrides. */
+        std::map<std::uint64_t, std::uint64_t> tenantWeights;
     };
 
     struct Request {
         CircuitId circuit = 0;
         std::vector<Fr> witness; //!< full assignment z (z[0] = 1)
         std::uint64_t seed = 0;  //!< seeds the proof's (r, s) draw
-        /** 0 = no deadline; negative = already expired (tests). */
+        /** 0 = no deadline; negative = already expired (rejected). */
         std::chrono::milliseconds timeout{0};
+        std::uint64_t tenant = 0; //!< fair-share scheduling id
+        int priority = 0;         //!< higher served first, same tenant
     };
 
     struct Result {
@@ -110,6 +171,16 @@ class ProofService
         zkp::ProverBackend backendUsed = zkp::ProverBackend::Gzkp;
         double queueSeconds = 0;
         double proveSeconds = 0;
+        std::uint64_t tenant = 0;
+        bool hedged = false;   //!< a secondary backend was launched
+        bool hedgeWon = false; //!< the secondary delivered the proof
+    };
+
+    struct TenantStats {
+        std::uint64_t accepted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0; //!< non-ok results (incl. shed)
+        std::uint64_t shed = 0;   //!< queue-time + late sheds
     };
 
     struct Stats {
@@ -128,12 +199,33 @@ class ProofService
         double buildSecondsTotal = 0;
         double proveSecondsTotal = 0;
         typename Cache::Stats cache;
+
+        /** Overload-control breakdown. */
+        std::uint64_t shedAdmission = 0; //!< rejected at submit()
+        std::uint64_t shedQueued = 0;    //!< dropped doomed at dequeue
+        std::uint64_t shedLate = 0;      //!< finished past deadline
+        std::uint64_t hedgesLaunched = 0;
+        std::uint64_t hedgeWins = 0; //!< secondary beat the primary
+        std::uint64_t hedgeLaunchFailures = 0;
+        std::uint64_t backendsSkipped = 0; //!< breaker-skipped tiers
+        std::map<std::uint64_t, TenantStats> tenants;
+        bool healthTracking = false;
+        BackendHealth::Snapshot health;
     };
 
     explicit ProofService(Options opt = Options(),
                           Verifier verifier = Verifier())
         : opt_(opt), verifier_(std::move(verifier)), cache_(opt.cacheBytes)
-    {}
+    {
+        if (opt_.healthTracking && opt_.health == nullptr) {
+            ownedHealth_ =
+                std::make_unique<BackendHealth>(opt_.healthOptions);
+        }
+        for (const auto &[tenant, weight] : opt_.tenantWeights)
+            queue_.setWeight(tenant, weight);
+        for (const auto &[tenant, weight] : tenantWeightsFromEnv())
+            queue_.setWeight(tenant, weight);
+    }
 
     ~ProofService() { stop(); }
 
@@ -155,11 +247,41 @@ class ProofService
         return circuits_.size() - 1;
     }
 
+    /** Set (or change) a tenant's fair-share weight. */
+    void
+    setTenantWeight(std::uint64_t tenant, std::uint64_t weight)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.setWeight(tenant, weight);
+    }
+
+    /**
+     * Pre-train the admission cost model (tests and benches: lets a
+     * cold service make informed shed decisions immediately).
+     */
+    void
+    trainCostModel(CircuitId circuit, double proveSeconds,
+                   std::size_t samples = 1)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < samples; ++i)
+            estimator_.record(circuit, proveSeconds);
+    }
+
+    /** The health registry (nullptr when healthTracking is off). */
+    BackendHealth *
+    health()
+    {
+        return opt_.health != nullptr ? opt_.health : ownedHealth_.get();
+    }
+
     /**
      * Admit a request. Returns the future that will carry its Result,
      * or a typed rejection: kInvalidArgument for an unknown circuit /
      * wrong witness size, kResourceExhausted past the queue
-     * high-watermark or on an injected "service.queue" fault.
+     * high-watermark or on an injected "service.queue"/"service.shed"
+     * fault, kDeadlineExceeded when the deadline has already passed or
+     * the cost model says it cannot be met at the current backlog.
      */
     StatusOr<std::future<Result>>
     submit(Request req)
@@ -178,6 +300,15 @@ class ProofService
                 std::to_string(req.witness.size()) + " != numVars " +
                 std::to_string(circuits_[req.circuit].pk.numVars));
         }
+        if (req.timeout.count() < 0) {
+            // Already expired at the door: shed instead of queueing a
+            // prove that can only produce a late error.
+            ++stats_.rejected;
+            ++stats_.shedAdmission;
+            ++stats_.tenants[req.tenant].shed;
+            return deadlineExceededError(
+                "service.shed: deadline already expired at admission");
+        }
         if (queue_.size() >= opt_.maxQueueDepth) {
             ++stats_.rejected;
             return resourceExhaustedError(
@@ -185,9 +316,55 @@ class ProofService
                 " at high-watermark " +
                 std::to_string(opt_.maxQueueDepth) + "; retry later");
         }
+        if (opt_.maxQueuePerTenant > 0 &&
+            queue_.tenantDepth(req.tenant) >= opt_.maxQueuePerTenant) {
+            // Per-tenant backpressure: without it, one tenant's
+            // backlog fills the shared queue and admission goes
+            // tenant-blind -- the DRR weights then have nothing to
+            // schedule. Bounding each tenant keeps every backlogged
+            // tenant present in the ring, which is what makes the
+            // weight ratio show up in goodput.
+            ++stats_.rejected;
+            ++stats_.tenants[req.tenant].shed;
+            return resourceExhaustedError(
+                "service.queue: tenant " + std::to_string(req.tenant) +
+                " at per-tenant high-watermark " +
+                std::to_string(opt_.maxQueuePerTenant) + "; retry later");
+        }
+        double est = estimator_.estimate(req.circuit);
+        if (opt_.admissionControl && req.timeout.count() > 0 &&
+            est > 0) {
+            // Feasibility: the backlog ahead of this request plus its
+            // own estimated prove must fit in the deadline budget. A
+            // never-observed circuit estimates 0 (optimistic cold
+            // start: admit and learn).
+            double budget =
+                std::chrono::duration<double>(req.timeout).count();
+            double eta = queuedCost_ + inFlightCost_ +
+                est * opt_.admissionSafety;
+            if (eta > budget) {
+                ++stats_.rejected;
+                ++stats_.shedAdmission;
+                ++stats_.tenants[req.tenant].shed;
+                return deadlineExceededError(
+                    "service.shed: infeasible deadline (eta " +
+                    std::to_string(eta) + "s > budget " +
+                    std::to_string(budget) + "s at current backlog)");
+            }
+        }
+        std::uint64_t idx = seq_++;
+        // Injected spurious shed: overload control lying under fault.
+        Status shedProbe = statusGuardVoid("service.shed", [&] {
+            faultsim::checkAlloc("service.shed", idx);
+        });
+        if (!shedProbe.isOk()) {
+            ++stats_.rejected;
+            ++stats_.shedAdmission;
+            ++stats_.tenants[req.tenant].shed;
+            return shedProbe;
+        }
         // The queue fault sites: a failed enqueue allocation (alloc)
         // or a failed dispatch (launch), indexed by admission order.
-        std::uint64_t idx = seq_++;
         Status probe = statusGuardVoid("service.queue", [&] {
             faultsim::checkAlloc("service.queue", idx);
             faultsim::checkLaunch("service.queue", idx);
@@ -200,14 +377,18 @@ class ProofService
         p.circuit = req.circuit;
         p.witness = std::move(req.witness);
         p.seed = req.seed;
+        p.tenant = req.tenant;
         p.admitted = Clock::now();
         if (req.timeout.count() != 0) {
             p.hasDeadline = true;
             p.deadline = p.admitted + req.timeout;
         }
+        p.costEstimate = est;
+        queuedCost_ += est;
         std::future<Result> fut = p.promise.get_future();
-        queue_.push_back(std::move(p));
+        queue_.push(req.tenant, req.priority, std::move(p));
         ++stats_.accepted;
+        ++stats_.tenants[req.tenant].accepted;
         stats_.queueDepth = queue_.size();
         stats_.peakQueueDepth =
             std::max(stats_.peakQueueDepth, queue_.size());
@@ -216,37 +397,74 @@ class ProofService
     }
 
     /**
-     * Process one batch synchronously on the calling thread: pop the
-     * oldest request, coalesce same-circuit requests behind it, one
-     * cache resolution, then prove each. Returns the number of
-     * requests completed (0 when the queue was empty).
+     * Process one batch synchronously on the calling thread: pop one
+     * request by fair share, coalesce same-circuit requests behind
+     * it, shed queued work whose deadline is already hopeless, one
+     * cache resolution, then prove each survivor. Returns the number
+     * of requests resolved (0 when the queue was empty).
      */
     std::size_t
     drainOnce()
     {
         std::vector<Pending> batch;
+        std::vector<Pending> doomed;
         const Circuit *circuit = nullptr;
         {
             std::lock_guard<std::mutex> lk(mu_);
             if (queue_.empty())
                 return 0;
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-            CircuitId cid = batch.front().circuit;
-            for (auto it = queue_.begin();
-                 it != queue_.end() && batch.size() < opt_.maxBatch;) {
-                if (it->circuit == cid) {
-                    batch.push_back(std::move(*it));
-                    it = queue_.erase(it);
-                } else {
-                    ++it;
-                }
-            }
+            typename Queue::Item head;
+            queue_.pop(head);
+            CircuitId cid = head.value.circuit;
+            batch.push_back(std::move(head.value));
+            auto more = queue_.extractIf(
+                [&](const typename Queue::Item &it) {
+                    return it.value.circuit == cid;
+                },
+                opt_.maxBatch - 1);
+            for (auto &m : more)
+                batch.push_back(std::move(m.value));
             circuit = &circuits_[cid]; // deque: stable under push_back
             ++stats_.batches;
             stats_.batchedRequests += batch.size();
+            // Queue-time re-check: work whose deadline has passed or
+            // can no longer fit its own prove is shed here, before it
+            // costs a prove.
+            if (opt_.admissionControl) {
+                auto now = Clock::now();
+                for (auto it = batch.begin(); it != batch.end();) {
+                    bool doom = false;
+                    if (it->hasDeadline) {
+                        double remaining = seconds(it->deadline - now);
+                        double est = estimator_.estimate(it->circuit);
+                        doom = remaining <= 0 ||
+                            (est > 0 &&
+                             est * opt_.admissionSafety > remaining);
+                    }
+                    if (doom) {
+                        doomed.push_back(std::move(*it));
+                        it = batch.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+            for (const Pending &p : batch) {
+                queuedCost_ = std::max(0.0, queuedCost_ - p.costEstimate);
+                inFlightCost_ += p.costEstimate;
+            }
+            for (const Pending &p : doomed)
+                queuedCost_ = std::max(0.0, queuedCost_ - p.costEstimate);
             stats_.queueDepth = queue_.size();
         }
+
+        for (Pending &p : doomed)
+            resolveShed(std::move(p),
+                        deadlineExceededError(
+                            "service.shed: deadline hopeless at "
+                            "dequeue; dropped without proving"));
+        if (batch.empty())
+            return doomed.size();
 
         // One artifact resolution for the whole batch.
         auto t0 = Clock::now();
@@ -270,7 +488,7 @@ class ProofService
 
         for (Pending &p : batch)
             processOne(p, *circuit, art, hit);
-        return batch.size();
+        return batch.size() + doomed.size();
     }
 
     /** Drain until the queue is empty; total requests processed. */
@@ -314,9 +532,10 @@ class ProofService
     }
 
     /**
-     * Cancel everything: in-flight proofs stop at the next chunk
-     * boundary, queued requests resolve with kCancelled (their
-     * futures are always fulfilled, never abandoned).
+     * Cancel everything: in-flight proofs (both arms of a hedged
+     * pair) stop at the next chunk boundary, queued requests resolve
+     * with kCancelled (their futures are always fulfilled, never
+     * abandoned).
      */
     void
     shutdownNow()
@@ -333,19 +552,37 @@ class ProofService
             drain(); // flush queued promises with kCancelled
     }
 
+    /**
+     * One consistent snapshot: every counter, the per-tenant
+     * aggregates and the cache stats are copied under a single
+     * critical section; breaker states are sampled from the health
+     * registry's own lock immediately after.
+     */
     Stats
     stats() const
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        Stats s = stats_;
-        s.queueDepth = queue_.size();
+        Stats s;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            s = stats_;
+            s.queueDepth = queue_.size();
+        }
         s.cache = cache_.stats();
+        const BackendHealth *h =
+            opt_.health != nullptr ? opt_.health : ownedHealth_.get();
+        if (h != nullptr) {
+            s.healthTracking = true;
+            s.health = h->snapshot();
+        }
         return s;
     }
 
     Cache &cache() { return cache_; }
 
   private:
+    struct Pending;
+    using Queue = FairShareQueue<Pending>;
+
     struct Circuit {
         ProvingKey pk;
         VerifyingKey vk;
@@ -357,9 +594,11 @@ class ProofService
         CircuitId circuit = 0;
         std::vector<Fr> witness;
         std::uint64_t seed = 0;
+        std::uint64_t tenant = 0;
         Clock::time_point admitted;
         bool hasDeadline = false;
         Clock::time_point deadline;
+        double costEstimate = 0;
         std::promise<Result> promise;
     };
 
@@ -369,6 +608,36 @@ class ProofService
         return std::chrono::duration<double>(d).count();
     }
 
+    BackendHealth *
+    monitor()
+    {
+        if (!opt_.healthTracking)
+            return nullptr;
+        return opt_.health != nullptr ? opt_.health : ownedHealth_.get();
+    }
+
+    /** Resolve a request shed at dequeue (never proved). */
+    void
+    resolveShed(Pending p, Status why)
+    {
+        Result res;
+        res.status = std::move(why);
+        res.tenant = p.tenant;
+        res.queueSeconds = seconds(Clock::now() - p.admitted);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.failed;
+            ++stats_.shedQueued;
+            ++stats_.deadlineExpired;
+            TenantStats &t = stats_.tenants[p.tenant];
+            ++t.failed;
+            ++t.shed;
+            stats_.queueSecondsTotal += res.queueSeconds;
+            inFlightCost_ = std::max(0.0, inFlightCost_);
+        }
+        p.promise.set_value(std::move(res));
+    }
+
     void
     processOne(Pending &p, const Circuit &c,
                const typename Cache::ArtifactPtr &art, bool hit)
@@ -376,6 +645,7 @@ class ProofService
         Result res;
         res.cacheHit = hit && art != nullptr;
         res.cacheBypass = art == nullptr;
+        res.tenant = p.tenant;
         auto start = Clock::now();
         res.queueSeconds = seconds(start - p.admitted);
 
@@ -388,40 +658,209 @@ class ProofService
         popt.maxAttemptsPerBackend = opt_.maxAttemptsPerBackend;
         popt.threads = opt_.threads;
         popt.selfCheck = opt_.selfCheck;
-        popt.cancel = &token;
+        popt.monitor = monitor();
         if (art) {
             popt.artifacts = &art->msm;
             popt.domain = &art->domain;
         }
-        Prover prover(popt, verifier_);
+
+        // Hedge decision: a request whose remaining budget is inside
+        // the tail of the cost distribution races a second backend.
+        bool hedge = false;
+        std::optional<zkp::ProverBackend> secondary;
+        if (opt_.hedging && !shutdown_.cancelled()) {
+            double p99;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                p99 = estimator_.quantile(p.circuit, 0.99);
+            }
+            if (opt_.forceHedge) {
+                hedge = true;
+            } else if (p.hasDeadline && p99 > 0) {
+                double remaining = seconds(p.deadline - start);
+                hedge = remaining > 0 &&
+                    remaining < opt_.hedgeFactor * p99;
+            }
+            if (hedge) {
+                secondary = pickSecondary(popt.start);
+                if (!secondary)
+                    hedge = false;
+            }
+            if (hedge) {
+                std::uint64_t hidx;
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    hidx = hedgeSeq_++;
+                }
+                // Injected hedge-launch failure: downgrade to the
+                // unhedged path (a hedge is an optimization; losing
+                // it must never fail the request).
+                Status probe = statusGuardVoid("service.hedge", [&] {
+                    faultsim::checkLaunch("service.hedge", hidx);
+                });
+                if (!probe.isOk()) {
+                    hedge = false;
+                    std::lock_guard<std::mutex> lk(mu_);
+                    ++stats_.hedgeLaunchFailures;
+                }
+            }
+        }
+
         typename Prover::Report rep;
-        ProofRng rng(p.seed);
-        StatusOr<Proof> r =
-            prover.prove(c.pk, c.vk, c.cs, p.witness, rng, &rep);
+        if (!hedge) {
+            popt.cancel = &token;
+            Prover prover(popt, verifier_);
+            ProofRng rng(p.seed);
+            StatusOr<Proof> r =
+                prover.prove(c.pk, c.vk, c.cs, p.witness, rng, &rep);
+            if (r.isOk())
+                res.proof = std::move(*r);
+            else
+                res.status = r.status();
+            res.backendUsed = rep.backendUsed;
+        } else {
+            runHedged(p, c, popt, token, *secondary, res, rep);
+        }
         res.proveSeconds = seconds(Clock::now() - start);
-        res.backendUsed = rep.backendUsed;
-        if (r.isOk())
-            res.proof = std::move(*r);
-        else
-            res.status = r.status();
+
+        // Late drop: a proof that finished after its deadline is a
+        // typed error, never a delivered proof -- the service hands
+        // out zero post-deadline proofs, structurally.
+        bool late = false;
+        if (res.status.isOk() && p.hasDeadline &&
+            Clock::now() > p.deadline) {
+            late = true;
+            res.proof.reset();
+            res.status = deadlineExceededError(
+                "service.shed: proof completed after its deadline; "
+                "dropped");
+        }
 
         {
             std::lock_guard<std::mutex> lk(mu_);
+            TenantStats &t = stats_.tenants[p.tenant];
             if (res.status.isOk()) {
                 ++stats_.completed;
+                ++t.completed;
+                estimator_.record(p.circuit, res.proveSeconds);
             } else {
                 ++stats_.failed;
+                ++t.failed;
                 if (res.status.code() == StatusCode::kDeadlineExceeded)
                     ++stats_.deadlineExpired;
                 if (res.status.code() == StatusCode::kCancelled)
                     ++stats_.cancelled;
+                if (late) {
+                    ++stats_.shedLate;
+                    ++t.shed;
+                }
             }
+            if (res.hedged) {
+                ++stats_.hedgesLaunched;
+                if (res.hedgeWon)
+                    ++stats_.hedgeWins;
+            }
+            stats_.backendsSkipped += rep.backendsSkipped;
             if (res.cacheBypass)
                 ++stats_.cacheBypasses;
             stats_.queueSecondsTotal += res.queueSeconds;
             stats_.proveSecondsTotal += res.proveSeconds;
+            inFlightCost_ =
+                std::max(0.0, inFlightCost_ - p.costEstimate);
         }
         p.promise.set_value(std::move(res));
+    }
+
+    /**
+     * The next healthy backend distinct from the primary ladder
+     * start; nullopt when no distinct backend is admissible.
+     */
+    std::optional<zkp::ProverBackend>
+    pickSecondary(zkp::ProverBackend primary)
+    {
+        BackendHealth *h = monitor();
+        std::vector<zkp::ProverBackend> order;
+        if (h != nullptr) {
+            order = h->healthyOrder();
+        } else {
+            for (std::size_t b = 0; b < zkp::kProverBackendCount; ++b)
+                order.push_back(zkp::ProverBackend(b));
+        }
+        for (zkp::ProverBackend b : order) {
+            if (b == primary)
+                continue;
+            if (h == nullptr || h->allow(b))
+                return b;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Race the primary ladder against `secondary`; first valid proof
+     * wins and cancels the loser through its child token. Proof bytes
+     * are a pure function of (circuit, witness, seed), so the winner
+     * identity never changes the delivered bytes.
+     */
+    void
+    runHedged(Pending &p, const Circuit &c,
+              const typename Prover::Options &base,
+              runtime::CancelToken &token,
+              zkp::ProverBackend secondary, Result &res,
+              typename Prover::Report &rep)
+    {
+        struct Arm {
+            std::optional<Proof> proof;
+            Status status;
+            typename Prover::Report rep;
+        };
+        Arm arms[2];
+        runtime::CancelToken armTok[2];
+        armTok[0].linkParent(&token);
+        armTok[1].linkParent(&token);
+
+        std::mutex hm;
+        int winner = -1;
+
+        auto run = [&](int i, zkp::ProverBackend startBackend) {
+            typename Prover::Options po = base;
+            po.start = startBackend;
+            po.cancel = &armTok[i];
+            Prover prover(po, verifier_);
+            ProofRng rng(p.seed);
+            StatusOr<Proof> r = prover.prove(c.pk, c.vk, c.cs,
+                                             p.witness, rng,
+                                             &arms[i].rep);
+            std::lock_guard<std::mutex> hlk(hm);
+            if (r.isOk()) {
+                arms[i].proof = std::move(*r);
+                if (winner < 0) {
+                    winner = i;
+                    armTok[1 - i].cancel(); // loser stops cooperatively
+                }
+            } else {
+                arms[i].status = r.status();
+            }
+        };
+
+        std::thread sec([&] { run(1, secondary); });
+        run(0, base.start);
+        sec.join();
+
+        res.hedged = true;
+        if (winner >= 0) {
+            res.proof = std::move(arms[winner].proof);
+            res.backendUsed = arms[winner].rep.backendUsed;
+            res.hedgeWon = winner == 1;
+            rep = arms[winner].rep;
+        } else {
+            // Both failed: report the primary's error (the secondary
+            // was only ever a latency optimization).
+            res.status = arms[0].status;
+            res.backendUsed = arms[0].rep.backendUsed;
+            rep = arms[0].rep;
+        }
+        rep.backendsSkipped =
+            arms[0].rep.backendsSkipped + arms[1].rep.backendsSkipped;
     }
 
     void
@@ -442,12 +881,17 @@ class ProofService
     Verifier verifier_;
     Cache cache_;
     runtime::CancelToken shutdown_;
+    std::unique_ptr<BackendHealth> ownedHealth_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Circuit> circuits_; //!< deque: references stay valid
-    std::deque<Pending> queue_;
+    Queue queue_;
+    CostEstimator estimator_;
+    double queuedCost_ = 0;   //!< estimated seconds queued
+    double inFlightCost_ = 0; //!< estimated seconds being proved
     std::uint64_t seq_ = 0;
+    std::uint64_t hedgeSeq_ = 0;
     bool stopping_ = false;
     std::thread worker_;
     Stats stats_;

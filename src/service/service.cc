@@ -1,8 +1,10 @@
 #include "service/artifact_cache.hh"
+#include "service/fair_queue.hh"
 
 #include <atomic>
 #include <cctype>
 #include <cstdlib>
+#include <string>
 
 namespace gzkp::service {
 
@@ -56,6 +58,61 @@ void
 setDefaultCacheBytes(std::uint64_t bytes)
 {
     g_default_cache_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+StatusOr<std::map<std::uint64_t, std::uint64_t>>
+parseTenantWeightsSpec(const char *spec)
+{
+    std::map<std::uint64_t, std::uint64_t> out;
+    if (spec == nullptr || *spec == '\0')
+        return out;
+    const char *p = spec;
+    while (*p != '\0') {
+        char *end = nullptr;
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return invalidArgumentError(
+                std::string("tenant weights: expected tenant id at \"") +
+                p + "\"");
+        unsigned long long tenant = std::strtoull(p, &end, 10);
+        if (*end != ':' && *end != '=')
+            return invalidArgumentError(
+                std::string("tenant weights: expected ':' after tenant "
+                            "in \"") +
+                spec + "\"");
+        p = end + 1;
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return invalidArgumentError(
+                std::string("tenant weights: expected weight at \"") + p +
+                "\"");
+        unsigned long long weight = std::strtoull(p, &end, 10);
+        p = end;
+        if (weight == 0)
+            weight = 1;
+        if (weight > 1000000ull)
+            weight = 1000000ull;
+        out[tenant] = weight;
+        if (*p == ',') {
+            ++p;
+            if (*p == '\0')
+                return invalidArgumentError(
+                    std::string("tenant weights: trailing comma in \"") +
+                    spec + "\"");
+        } else if (*p != '\0') {
+            return invalidArgumentError(
+                std::string("tenant weights: unexpected character at \"") +
+                p + "\"");
+        }
+    }
+    return out;
+}
+
+std::map<std::uint64_t, std::uint64_t>
+tenantWeightsFromEnv()
+{
+    auto parsed = parseTenantWeightsSpec(std::getenv("GZKP_TENANT_WEIGHTS"));
+    if (!parsed.isOk())
+        return {};
+    return std::move(*parsed);
 }
 
 } // namespace gzkp::service

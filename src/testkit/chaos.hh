@@ -203,6 +203,25 @@ serviceChaosSites()
     return sites;
 }
 
+/**
+ * The overload-control probe sites (PR 8) on top of the service
+ * vocabulary: spurious admission sheds, hedge-launch failures and a
+ * lying circuit breaker. Again a separate list so the existing
+ * service sweep keeps its per-seed plans.
+ */
+inline const std::vector<std::string> &
+overloadChaosSites()
+{
+    static const std::vector<std::string> sites = [] {
+        std::vector<std::string> s = serviceChaosSites();
+        s.push_back("service.shed");
+        s.push_back("service.hedge");
+        s.push_back("service.breaker");
+        return s;
+    }();
+    return sites;
+}
+
 /** randomFaultPlan() over the service site vocabulary. */
 inline faultsim::FaultPlan
 randomServiceFaultPlan(std::uint64_t seed)
@@ -297,6 +316,179 @@ runServiceChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed,
             ++out.typedErrors;
         } else {
             // OK status without a proof is also a contract violation.
+            out.releasedBadProof = true;
+        }
+    }
+    out.fires = faultsim::firedCount();
+    return out;
+}
+
+// ----------------------------------------------------- overload chaos
+
+/** Requests per overload chaos run (fixed: reference proofs). */
+inline constexpr std::size_t kOverloadChaosRequests = 6;
+
+/**
+ * Fault-free reference proofs for the overload sweep's fixed request
+ * seeds. Computed once, before any plan is installed (callers must
+ * touch this BEFORE constructing their ScopedFaultPlan): the bytes a
+ * request must deliver whenever no fault perturbed its rng draws.
+ */
+inline const std::vector<std::string> &
+overloadReferenceProofs()
+{
+    static const std::vector<std::string> refs = [] {
+        const ChaosFixture &fx = chaosFixture();
+        zkp::SelfCheckingProver<zkp::Bn254Family>::Options opt;
+        opt.threads = 2;
+        auto prover = zkp::makeBn254SelfCheckingProver(opt);
+        std::vector<std::string> out;
+        for (std::size_t i = 0; i < kOverloadChaosRequests; ++i) {
+            service::ProofRng rng(deriveSeed(0xB17E, i));
+            auto r = prover.prove(fx.keys.pk, fx.keys.vk,
+                                  fx.builder.cs(),
+                                  fx.builder.assignment(), rng);
+            out.push_back(
+                zkp::serializeProof<zkp::Bn254Family>(*r));
+        }
+        return out;
+    }();
+    return refs;
+}
+
+/**
+ * randomServiceFaultPlan() over the overload vocabulary, biased
+ * toward the three new routing sites so the sweep spends most of its
+ * seeds on shed/hedge/breaker interference.
+ */
+inline faultsim::FaultPlan
+randomOverloadFaultPlan(std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, 0x0FA));
+    faultsim::FaultPlan plan;
+    plan.seed = deriveSeed(seed, 0x0FB);
+    if (seed % 16 == 0)
+        return plan;
+    static const std::vector<std::string> bias = {
+        "service.shed", "service.hedge", "service.breaker"};
+    std::size_t arms = 1 + rng() % 3;
+    static const std::uint64_t periods[] = {1, 1, 2, 3, 5, 17, 64};
+    static const std::uint64_t limits[] = {0, 0, 1, 1, 2, 5};
+    const auto &sites = overloadChaosSites();
+    for (std::size_t i = 0; i < arms; ++i) {
+        faultsim::FaultArm arm;
+        arm.kind =
+            faultsim::FaultKind(rng() % faultsim::kFaultKindCount);
+        // 50% of arms target the new routing sites directly.
+        arm.site = rng() % 2 == 0 ? bias[rng() % bias.size()]
+                                  : sites[rng() % sites.size()];
+        arm.period = periods[rng() % (sizeof(periods) /
+                                      sizeof(periods[0]))];
+        arm.limit =
+            limits[rng() % (sizeof(limits) / sizeof(limits[0]))];
+        plan.arms.push_back(arm);
+    }
+    return plan;
+}
+
+/** What one overload chaos run ended as, over all its requests. */
+struct OverloadChaosOutcome {
+    std::size_t proofsOk = 0;
+    std::size_t typedErrors = 0;    //!< futures with a non-OK Status
+    std::size_t rejectedAtQueue = 0; //!< submit() itself rejected
+    std::size_t hedged = 0;          //!< results with hedged set
+    bool releasedBadProof = false;
+    /** A delivered proof whose bytes differ from the fault-free
+        reference on a run where only routing sites could fire. */
+    bool byteMismatch = false;
+    std::uint64_t fires = 0;
+
+    bool clean() const { return !releasedBadProof && !byteMismatch; }
+};
+
+/**
+ * Run a ProofService with the full overload stack live -- fair-share
+ * tenants with skewed weights, mixed deadlines (none / generous /
+ * hopeless), deadline admission, health tracking and (on even seeds)
+ * forced hedging -- under `plan`, and classify every outcome. The
+ * invariant is the PR-3 one lifted again: a valid proof or a clean
+ * typed error, never a bad proof. On plans whose arms touch only
+ * routing sites (shed/hedge/breaker/queue: they steer requests but
+ * never perturb a prover attempt's rng), delivered bytes must equal
+ * the fault-free reference -- hedged winners included.
+ */
+inline OverloadChaosOutcome
+runOverloadChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed)
+{
+    using Service = service::ProofService<zkp::Bn254Family>;
+    const ChaosFixture &fx = chaosFixture();
+    const auto &refs = overloadReferenceProofs(); // before the guard
+    OverloadChaosOutcome out;
+
+    bool routingOnly = true;
+    for (const auto &arm : plan.arms) {
+        if (arm.site != "service.shed" && arm.site != "service.hedge" &&
+            arm.site != "service.breaker" &&
+            arm.site != "service.queue")
+            routingOnly = false;
+    }
+
+    faultsim::ScopedFaultPlan guard(plan);
+    typename Service::Options opt;
+    opt.maxAttemptsPerBackend = 2;
+    opt.threads = 2;
+    opt.maxQueueDepth = kOverloadChaosRequests;
+    opt.cacheBytes = 64ull << 20;
+    opt.forceHedge = seed % 2 == 0;
+    opt.tenantWeights = {{0, 4}, {1, 1}, {2, 1}};
+    auto svc = service::makeBn254ProofService(opt);
+    auto cid = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                    fx.builder.cs());
+
+    struct Slot {
+        std::future<typename Service::Result> fut;
+        std::size_t idx;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t i = 0; i < kOverloadChaosRequests; ++i) {
+        typename Service::Request req;
+        req.circuit = cid;
+        req.witness = fx.builder.assignment();
+        req.seed = deriveSeed(0xB17E, i); // fixed: matches refs
+        req.tenant = i % 3;
+        req.priority = int(i % 2);
+        switch ((seed + i) % 4) {
+        case 1: req.timeout = std::chrono::milliseconds(5000); break;
+        case 2: req.timeout = std::chrono::milliseconds(1); break;
+        default: break; // no deadline
+        }
+        auto admitted = svc->submit(std::move(req));
+        if (!admitted.isOk()) {
+            ++out.rejectedAtQueue;
+            continue;
+        }
+        slots.push_back(Slot{std::move(*admitted), i});
+    }
+    svc->drain();
+
+    for (Slot &s : slots) {
+        typename Service::Result res = s.fut.get();
+        if (res.hedged)
+            ++out.hedged;
+        if (res.status.isOk() && res.proof.has_value()) {
+            if (zkp::verifyBn254(fx.keys.vk, *res.proof,
+                                 fx.publicInputs)) {
+                ++out.proofsOk;
+                if (routingOnly &&
+                    zkp::serializeProof<zkp::Bn254Family>(
+                        *res.proof) != refs[s.idx])
+                    out.byteMismatch = true;
+            } else {
+                out.releasedBadProof = true;
+            }
+        } else if (!res.status.isOk()) {
+            ++out.typedErrors;
+        } else {
             out.releasedBadProof = true;
         }
     }

@@ -96,6 +96,38 @@ retryableStatus(StatusCode code)
 }
 
 /**
+ * Cross-request backend health feedback. The PR-3 pipeline demoted
+ * per request: every prove climbed the full GZKP -> bellperson ->
+ * serial ladder from the top, re-paying the failed attempts on a
+ * backend that has been brown for the last hundred requests. A
+ * monitor lifts that decision to service scope: before trying a
+ * backend the pipeline asks allow(), and after every attempt it
+ * reports the outcome and latency through record(). The serving
+ * layer's BackendHealth registry (src/service/backend_health.hh)
+ * implements this with sliding-window stats and a circuit breaker.
+ *
+ * Contract: allow()/record() may be called concurrently from many
+ * in-flight proofs (implementations synchronize internally), and a
+ * monitor must never be able to strand a request -- when it denies
+ * every backend, the pipeline falls back to the full unmonitored
+ * ladder (the breaker saves latency; correctness never depends on
+ * it).
+ */
+class BackendMonitor
+{
+  public:
+    virtual ~BackendMonitor() = default;
+
+    /** May this prove attempt the backend right now? */
+    virtual bool allow(ProverBackend backend) = 0;
+
+    /** One attempt finished with `status` after `seconds`. */
+    virtual void
+    record(ProverBackend backend, const Status &status,
+           double seconds) = 0;
+};
+
+/**
  * Self-checking Groth16 prover with backend fallback.
  *
  * The verifier callback is the cryptographic self-check: for BN254
@@ -136,6 +168,12 @@ class SelfCheckingProver
          */
         const typename G::MsmArtifacts *artifacts = nullptr;
         const ntt::Domain<Fr> *domain = nullptr;
+        /**
+         * Optional cross-request health feedback (serving layer):
+         * backends the monitor disallows are skipped, every attempt
+         * outcome is reported back. Must outlive prove().
+         */
+        BackendMonitor *monitor = nullptr;
     };
 
     struct Attempt {
@@ -149,6 +187,8 @@ class SelfCheckingProver
         ProverBackend backendUsed = ProverBackend::Gzkp;
         bool succeeded = false;
         std::size_t epochsAdvanced = 0;
+        /** Backends the monitor's breaker skipped entirely. */
+        std::size_t backendsSkipped = 0;
     };
 
     explicit SelfCheckingProver(Options opt = Options(),
@@ -177,11 +217,32 @@ class SelfCheckingProver
         if (opt_.cancel)
             scope.emplace(opt_.cancel);
 
-        Status last =
-            internalError("prover.pipeline: no attempt executed");
+        // The demotion ladder, gated by the health monitor: a backend
+        // whose breaker is open is skipped outright -- the service has
+        // already watched it fail across requests, so this prove does
+        // not pay the attempts again. A monitor that denies *every*
+        // backend is overridden with the full ladder: breakers shape
+        // latency, they must never strand a request.
+        std::vector<ProverBackend> ladder;
         for (std::size_t b = std::size_t(opt_.start);
              b < kProverBackendCount; ++b) {
             ProverBackend backend = ProverBackend(b);
+            if (opt_.monitor && !opt_.monitor->allow(backend)) {
+                ++rep.backendsSkipped;
+                continue;
+            }
+            ladder.push_back(backend);
+        }
+        if (ladder.empty()) {
+            for (std::size_t b = std::size_t(opt_.start);
+                 b < kProverBackendCount; ++b)
+                ladder.push_back(ProverBackend(b));
+        }
+
+        using AttemptClock = std::chrono::steady_clock;
+        Status last =
+            internalError("prover.pipeline: no attempt executed");
+        for (ProverBackend backend : ladder) {
             for (std::size_t attempt = 0;
                  attempt < opt_.maxAttemptsPerBackend; ++attempt) {
                 if (opt_.cancel) {
@@ -191,10 +252,17 @@ class SelfCheckingProver
                         return s.withContext("prover.pipeline");
                     }
                 }
+                auto t0 = AttemptClock::now();
                 StatusOr<Proof> r = proveWith(backend, pk, cs, z, rng);
                 Status s = r.isOk()
                     ? selfCheck(vk, *r, publicInputs(pk, z))
                     : r.status();
+                double attempt_s =
+                    std::chrono::duration<double>(AttemptClock::now() -
+                                                  t0)
+                        .count();
+                if (opt_.monitor)
+                    opt_.monitor->record(backend, s, attempt_s);
                 rep.attempts.push_back({backend, s});
                 if (s.isOk()) {
                     rep.backendUsed = backend;

@@ -449,6 +449,33 @@ TEST(ServiceChaos, ServiceChaosSweep)
     EXPECT_GT(errors, 0u);
 }
 
+/**
+ * The overload sweep (PR 8): seeded plans biased toward the new
+ * routing sites (service.shed / service.hedge / service.breaker) run
+ * against a hedging, deadline-laden, multi-tenant service. Invariant:
+ * valid proof or clean typed error, never a bad proof -- and on
+ * routing-only plans every delivered proof (hedged winners included)
+ * is byte-identical to the fault-free reference.
+ */
+TEST(ServiceChaos, OverloadChaosSweep)
+{
+    std::size_t proofs = 0, errors = 0, hedged = 0;
+    for (std::uint64_t seed = 1; seed <= 44; ++seed) {
+        auto plan = testkit::randomOverloadFaultPlan(seed);
+        auto out = testkit::runOverloadChaosPlan(plan, seed);
+        ASSERT_TRUE(out.clean())
+            << "seed " << seed << " plan \"" << plan.toString()
+            << (out.releasedBadProof ? "\" released a bad proof"
+                                     : "\" broke byte identity");
+        proofs += out.proofsOk;
+        errors += out.typedErrors + out.rejectedAtQueue;
+        hedged += out.hedged;
+    }
+    EXPECT_GT(proofs, 0u);
+    EXPECT_GT(errors, 0u);
+    EXPECT_GT(hedged, 0u); // forced-hedge runs must actually hedge
+}
+
 /** The fuzz-registry fault target agrees with the direct sweep. */
 TEST(Chaos, FuzzFaultTargetSweep)
 {

@@ -411,7 +411,12 @@ TEST(ProofService, InvalidRequestsRejectedTyped)
     EXPECT_EQ(svc->stats().rejected, 2u);
 }
 
-TEST(ProofService, ExpiredDeadlineFailsTyped)
+/**
+ * PR 8 moved the already-expired-deadline failure from prove time to
+ * admission time: a request that cannot possibly meet its deadline is
+ * shed at submit() with the same typed code, before it costs a prove.
+ */
+TEST(ProofService, ExpiredDeadlineShedsAtAdmission)
 {
     auto svc = service::makeBn254ProofService(fastServiceOptions());
     auto id = svc->registerCircuit(fx().k1.pk, fx().k1.vk,
@@ -422,14 +427,42 @@ TEST(ProofService, ExpiredDeadlineFailsTyped)
     req.seed = 5;
     req.timeout = std::chrono::milliseconds(-1); // already expired
     auto admitted = svc->submit(std::move(req));
+    ASSERT_FALSE(admitted.isOk());
+    EXPECT_EQ(admitted.status().code(), StatusCode::kDeadlineExceeded);
+    Service::Stats st = svc->stats();
+    EXPECT_EQ(st.rejected, 1u);
+    EXPECT_EQ(st.shedAdmission, 1u);
+    EXPECT_EQ(st.accepted, 0u);
+    EXPECT_EQ(svc->drain(), 0u); // nothing was queued
+}
+
+/**
+ * A deadline that expires while the request waits (or proves) still
+ * fails with the typed code and never delivers a proof: the late-drop
+ * guarantee, at prove granularity.
+ */
+TEST(ProofService, DeadlineExpiryInFlightFailsTyped)
+{
+    auto svc = service::makeBn254ProofService(fastServiceOptions());
+    auto id = svc->registerCircuit(fx().k1.pk, fx().k1.vk,
+                                   fx().b1.cs());
+    Service::Request req;
+    req.circuit = id;
+    req.witness = fx().b1.assignment();
+    req.seed = 5;
+    // Far too tight for a real prove (~100ms at 10 constraints), but
+    // positive, so it passes the admission check on a cold cost model.
+    req.timeout = std::chrono::milliseconds(1);
+    auto admitted = svc->submit(std::move(req));
     ASSERT_TRUE(admitted.isOk());
     svc->drain();
     Service::Result res = admitted->get();
     ASSERT_FALSE(res.status.isOk());
     EXPECT_EQ(res.status.code(), StatusCode::kDeadlineExceeded);
     EXPECT_FALSE(res.proof.has_value());
-    EXPECT_EQ(svc->stats().deadlineExpired, 1u);
-    EXPECT_EQ(svc->stats().failed, 1u);
+    Service::Stats st = svc->stats();
+    EXPECT_EQ(st.deadlineExpired, 1u);
+    EXPECT_EQ(st.failed, 1u);
 }
 
 /** shutdownNow() fulfils every queued future with kCancelled. */

@@ -5,20 +5,29 @@
  *     service_driver [--circuits=3] [--per-circuit=6] [--seed=1]
  *                    [--constraints=10] [--queue-depth=64]
  *                    [--batch=8] [--threads=0] [--cache-bytes=SPEC]
- *                    [--background] [--verify] [--verbose]
+ *                    [--deadline-ms=N] [--tenant-weights=SPEC]
+ *                    [--force-hedge] [--background] [--verify]
+ *                    [--verbose]
  *
  * Replays a synthetic multi-tenant trace (testkit::serviceTrace:
  * `circuits` tenants x `per-circuit` requests each, seeded arrival
  * order) through a BN254 ProofService and prints the service and
- * cache statistics. --background runs the service's own scheduler
- * thread instead of draining inline; --verify re-checks every
- * released proof with the independent pairing verifier.
- * --cache-bytes takes the GZKP_CACHE_BYTES syntax (e.g. 64m) and
- * overrides the environment for this run.
+ * cache statistics. The request's tenant id is its circuit index, so
+ * --tenant-weights (GZKP_TENANT_WEIGHTS syntax, e.g. "0:10,1:1")
+ * skews the fair-share scheduler between circuits. --deadline-ms
+ * attaches a deadline to every request (0 = none), which arms the
+ * admission controller's shedding. --background runs the service's
+ * own scheduler thread instead of draining inline; --verify
+ * re-checks every released proof with the independent pairing
+ * verifier. --cache-bytes takes the GZKP_CACHE_BYTES syntax (e.g.
+ * 64m) and overrides the environment for this run.
  *
- * Exits nonzero if any request failed, was rejected, or (with
- * --verify) produced a proof the verifier rejects -- so the CI can
- * run it as a smoke test.
+ * The replay summary breaks rejected and failed requests down by
+ * their typed status code. A deliberate shed -- kDeadlineExceeded or
+ * kResourceExhausted from overload control -- is reported but is NOT
+ * a driver failure; the exit code is nonzero only for *unexpected*
+ * failures (any other status code, or a released proof the verifier
+ * rejects), so the CI can run overloaded traces as smoke tests.
  */
 
 #include <chrono>
@@ -26,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,10 +58,21 @@ struct Args {
     std::size_t batch = 8;
     std::size_t threads = 0;
     std::string cacheBytes;
+    std::uint64_t deadlineMs = 0;
+    std::string tenantWeights;
+    bool forceHedge = false;
     bool background = false;
     bool verify = false;
     bool verbose = false;
 };
+
+/** A shed is overload control doing its job, not a driver failure. */
+bool
+deliberateShed(gzkp::StatusCode code)
+{
+    return code == gzkp::StatusCode::kDeadlineExceeded ||
+        code == gzkp::StatusCode::kResourceExhausted;
+}
 
 bool
 parseOne(Args &a, const std::string &arg)
@@ -79,6 +100,12 @@ parseOne(Args &a, const std::string &arg)
         a.threads = std::strtoull(v, nullptr, 0);
     else if (const char *v = val("--cache-bytes"))
         a.cacheBytes = v;
+    else if (const char *v = val("--deadline-ms"))
+        a.deadlineMs = std::strtoull(v, nullptr, 0);
+    else if (const char *v = val("--tenant-weights"))
+        a.tenantWeights = v;
+    else if (arg == "--force-hedge")
+        a.forceHedge = true;
     else if (arg == "--background")
         a.background = true;
     else if (arg == "--verify")
@@ -125,6 +152,17 @@ main(int argc, char **argv)
     opt.maxQueueDepth = args.queueDepth;
     opt.maxBatch = args.batch;
     opt.threads = args.threads;
+    opt.forceHedge = args.forceHedge;
+    if (!args.tenantWeights.empty()) {
+        auto weights =
+            service::parseTenantWeightsSpec(args.tenantWeights.c_str());
+        if (!weights.isOk()) {
+            std::fprintf(stderr, "bad --tenant-weights spec: %s\n",
+                         weights.status().toString().c_str());
+            return 2;
+        }
+        opt.tenantWeights = std::move(*weights);
+    }
     auto svc = service::makeBn254ProofService(opt);
 
     // Distinct tenants: each circuit gets its own seed, so its own
@@ -157,6 +195,8 @@ main(int argc, char **argv)
     auto t0 = std::chrono::steady_clock::now();
     std::vector<std::pair<std::size_t, std::future<Service::Result>>>
         inflight;
+    std::map<StatusCode, std::size_t> rejectedByCode;
+    std::map<StatusCode, std::size_t> failedByCode;
     std::size_t rejected = 0;
     for (const auto &entry : trace) {
         const Tenant &t = tenants[entry.circuit];
@@ -164,9 +204,13 @@ main(int argc, char **argv)
         req.circuit = t.id;
         req.witness = t.builder.assignment();
         req.seed = entry.seed;
+        req.tenant = entry.circuit; // tenant id = circuit index
+        if (args.deadlineMs != 0)
+            req.timeout = std::chrono::milliseconds(args.deadlineMs);
         auto admitted = svc->submit(std::move(req));
         if (!admitted.isOk()) {
             ++rejected;
+            ++rejectedByCode[admitted.status().code()];
             if (args.verbose)
                 std::fprintf(stderr, "rejected: %s\n",
                              admitted.status().toString().c_str());
@@ -187,6 +231,7 @@ main(int argc, char **argv)
         Service::Result res = fut.get();
         if (!res.status.isOk()) {
             ++failed;
+            ++failedByCode[res.status.code()];
             if (args.verbose)
                 std::fprintf(stderr, "failed: %s\n",
                              res.status.toString().c_str());
@@ -240,18 +285,47 @@ main(int argc, char **argv)
                 st.queueSecondsTotal, st.buildSecondsTotal,
                 st.proveSecondsTotal, wall,
                 wall > 0 ? double(ok) / wall : 0.0);
+    std::printf("  overload: shed_admission=%llu shed_queued=%llu "
+                "shed_late=%llu hedges=%llu hedge_wins=%llu "
+                "backends_skipped=%llu\n",
+                (unsigned long long)st.shedAdmission,
+                (unsigned long long)st.shedQueued,
+                (unsigned long long)st.shedLate,
+                (unsigned long long)st.hedgesLaunched,
+                (unsigned long long)st.hedgeWins,
+                (unsigned long long)st.backendsSkipped);
+
+    // The typed breakdown: deliberate sheds are reported, unexpected
+    // codes fail the run.
+    std::size_t unexpectedRejected = 0, unexpectedFailed = 0;
+    for (const auto &[code, n] : rejectedByCode) {
+        bool shed = deliberateShed(code);
+        std::printf("  rejected[%s]=%zu%s\n", statusCodeName(code), n,
+                    shed ? " (deliberate shed)" : " (UNEXPECTED)");
+        if (!shed)
+            unexpectedRejected += n;
+    }
+    for (const auto &[code, n] : failedByCode) {
+        bool shed = deliberateShed(code);
+        std::printf("  failed[%s]=%zu%s\n", statusCodeName(code), n,
+                    shed ? " (deliberate shed)" : " (UNEXPECTED)");
+        if (!shed)
+            unexpectedFailed += n;
+    }
     if (args.verify)
         std::printf("  verify: ok=%zu bad=%zu\n", ok - badProofs,
                     badProofs);
 
-    if (badProofs != 0 || failed != 0 || rejected != 0) {
+    if (badProofs != 0 || unexpectedFailed != 0 ||
+        unexpectedRejected != 0) {
         std::fprintf(stderr,
-                     "service_driver: FAILED (failed=%zu rejected=%zu "
-                     "bad_proofs=%zu)\n",
-                     failed, rejected, badProofs);
+                     "service_driver: FAILED (unexpected_failed=%zu "
+                     "unexpected_rejected=%zu bad_proofs=%zu)\n",
+                     unexpectedFailed, unexpectedRejected, badProofs);
         return 1;
     }
-    std::printf("service_driver: OK (%zu proofs, %zu cache hits)\n", ok,
-                cacheHits);
+    std::printf("service_driver: OK (%zu proofs, %zu shed, "
+                "%zu cache hits)\n",
+                ok, rejected + failed, cacheHits);
     return 0;
 }
