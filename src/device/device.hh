@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Device abstraction of the heterogeneous multi-device scheduler.
+ *
+ * The GZKP paper scales across multiple GPUs; ZK-Flex and if-ZKP
+ * (PAPERS.md) argue for going further and treating *any* accelerator
+ * as a pluggable device behind a placement layer. This module gives
+ * the reproduction that layer: a DeviceSpec describes one executor --
+ * a simulated GPU (a gpusim::DeviceConfig geometry whose kernels run
+ * functionally on the host while the roofline model supplies the
+ * modeled time) or a CPU worker (a slice of the deterministic
+ * runtime's thread budget, where modeled time comes from the paper's
+ * calibrated CPU cost model).
+ *
+ * Every device is its own *failure domain*: it carries three
+ * faultsim probe sites, suffixed with the instance name so a fault
+ * plan can target one sick card out of a healthy fleet --
+ *
+ *   device.fail.<name>  launch-kind  -> the stage fails (kUnavailable)
+ *   device.mem.<name>   alloc-kind   -> the stage fails
+ *                                       (kResourceExhausted)
+ *   device.slow.<name>  launch-kind  -> the stage's *modeled* time is
+ *                                       inflated (a thermally
+ *                                       throttled / contended card);
+ *                                       never an error
+ *
+ * An arm site of "device.fail" substring-matches every device; the
+ * full "device.fail.v100.0" form targets one. All three sites
+ * perturb routing and timing only -- they can never corrupt proof
+ * bytes, which is what lets the device chaos sweep assert
+ * byte-identity under *every* pure-device fault plan.
+ */
+
+#ifndef GZKP_DEVICE_DEVICE_HH
+#define GZKP_DEVICE_DEVICE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device.hh"
+
+namespace gzkp::device {
+
+enum class DeviceKind {
+    SimGpu = 0, //!< modeled GPU (gpusim geometry, roofline time)
+    CpuWorker,  //!< host CPU worker (deterministic runtime threads)
+};
+
+inline const char *
+name(DeviceKind k)
+{
+    switch (k) {
+    case DeviceKind::SimGpu: return "gpu";
+    case DeviceKind::CpuWorker: return "cpu";
+    }
+    return "?";
+}
+
+/** Static description of one schedulable device instance. */
+struct DeviceSpec {
+    std::string name;        //!< unique instance name, e.g. "v100.0"
+    DeviceKind kind = DeviceKind::CpuWorker;
+    /** Geometry of a SimGpu (ignored for CpuWorker). */
+    gpusim::DeviceConfig gpu;
+    /**
+     * CPU runtime thread budget for *functional* execution of this
+     * device's stages. For a CpuWorker this is also the modeled
+     * parallelism; a SimGpu's modeled time comes from its geometry
+     * alone (the host threads only affect wall clock, and proof
+     * bytes are thread-count invariant by the PR-2 runtime
+     * contract).
+     */
+    std::size_t threads = 1;
+
+    /** Per-instance faultsim probe sites (precomputed, stable). */
+    std::string failSite, memSite, slowSite;
+
+    /** Fill the probe-site names from the instance name. */
+    void
+    bindSites()
+    {
+        failSite = "device.fail." + name;
+        memSite = "device.mem." + name;
+        slowSite = "device.slow." + name;
+    }
+
+    static DeviceSpec
+    v100(std::size_t index)
+    {
+        DeviceSpec d;
+        d.name = "v100." + std::to_string(index);
+        d.kind = DeviceKind::SimGpu;
+        d.gpu = gpusim::DeviceConfig::v100();
+        d.threads = 2;
+        d.bindSites();
+        return d;
+    }
+
+    static DeviceSpec
+    gtx1080ti(std::size_t index)
+    {
+        DeviceSpec d;
+        d.name = "1080ti." + std::to_string(index);
+        d.kind = DeviceKind::SimGpu;
+        d.gpu = gpusim::DeviceConfig::gtx1080ti();
+        d.threads = 2;
+        d.bindSites();
+        return d;
+    }
+
+    static DeviceSpec
+    cpu(std::size_t index, std::size_t threads)
+    {
+        DeviceSpec d;
+        d.name = "cpu." + std::to_string(index);
+        d.kind = DeviceKind::CpuWorker;
+        d.threads = threads == 0 ? 1 : threads;
+        d.bindSites();
+        return d;
+    }
+};
+
+} // namespace gzkp::device
+
+#endif // GZKP_DEVICE_DEVICE_HH

@@ -56,6 +56,23 @@
  *                         spuriously denied by the circuit breaker).
  * The service.* sites perturb routing and admission only; they can
  * never corrupt a proof (asserted by the overload chaos sweep).
+ *
+ * Per-device sites (multi-device scheduler, src/device/): every
+ * device instance carries three sites suffixed with its name, so a
+ * plan can target one card out of a fleet ("device.fail" matches all
+ * of them; "device.fail.v100.0" exactly one) --
+ *  - device.fail.<name>: the placed stage fails at launch
+ *                        (kUnavailable; retried on a re-placed
+ *                        device, persistent firing quarantines the
+ *                        device via its breaker);
+ *  - device.mem.<name>:  the placed stage fails allocation
+ *                        (kResourceExhausted; same recovery);
+ *  - device.slow.<name>: the stage's *modeled* duration is inflated
+ *                        -- a throttled or contended card; never an
+ *                        error, the placement layer just learns to
+ *                        route around it.
+ * All device.* sites are routing/timing-only: retried stages
+ * recompute identical bytes (asserted by the device chaos sweep).
  */
 
 #ifndef GZKP_FAULTSIM_FAULTSIM_HH

@@ -14,15 +14,11 @@
  *    and latencies (failures are statuses that blame the backend --
  *    kUnavailable, kResourceExhausted, kDataLoss, kInternal;
  *    cooperative stops and caller bugs are neutral);
- *  - a circuit breaker per backend: Closed (healthy) -> Open when the
- *    window failure rate crosses the threshold at sufficient sample
- *    count -> HalfOpen after a deterministic cooldown, when one probe
- *    request is let through -> Closed again on probe success, back to
- *    Open on probe failure. The cooldown is counted in *denied
- *    requests*, not wall time, and jittered by a seeded hash of the
- *    reopen count -- so breaker traces replay deterministically under
- *    a fixed request sequence (the same property the fault simulator
- *    has);
+ *  - a circuit breaker per backend (the SlidingBreaker state machine,
+ *    breaker.hh): Closed -> Open on windowed failure rate -> HalfOpen
+ *    probe after a deterministic denial-counted cooldown -> Closed on
+ *    probe success. The same core guards the multi-device scheduler's
+ *    per-device failure domains (src/device/health.hh);
  *  - implements zkp::BackendMonitor, so the registry plugs straight
  *    into SelfCheckingProver: ProofService shares one instance across
  *    all requests and hedged attempts.
@@ -39,48 +35,22 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "faultsim/faultsim.hh"
+#include "service/breaker.hh"
 #include "status/status.hh"
 #include "zkp/prover_pipeline.hh"
 
 namespace gzkp::service {
 
-enum class BreakerState { Closed = 0, Open = 1, HalfOpen = 2 };
-
-inline const char *
-name(BreakerState s)
-{
-    switch (s) {
-    case BreakerState::Closed: return "closed";
-    case BreakerState::Open: return "open";
-    case BreakerState::HalfOpen: return "half-open";
-    }
-    return "?";
-}
-
 class BackendHealth final : public zkp::BackendMonitor
 {
   public:
-    struct Options {
-        /** Sliding-window length (attempt outcomes per backend). */
-        std::size_t window = 16;
-        /** Never open below this many windowed samples. */
-        std::size_t minSamples = 4;
-        /** Open when windowed failure rate reaches this. */
-        double failureThreshold = 0.5;
-        /** Denied requests before a half-open probe is admitted. */
-        std::uint64_t cooldownDenials = 8;
-        /** Seeded jitter added to the cooldown (0 = none). */
-        std::uint64_t cooldownJitter = 4;
-        /** Probe successes required to close from half-open. */
-        std::size_t probeSuccesses = 1;
-        /** Seed of the deterministic cooldown jitter. */
-        std::uint64_t seed = 0x48EA17u;
-    };
+    /** One breaker configuration shared by all three backends. */
+    using Options = BreakerOptions;
 
     struct BackendSnapshot {
         BreakerState state = BreakerState::Closed;
@@ -104,11 +74,12 @@ class BackendHealth final : public zkp::BackendMonitor
         }
     };
 
-    // Two constructors instead of one defaulted argument: a nested
-    // class's default member initializers are not usable in a default
-    // argument before the enclosing class is complete.
-    BackendHealth() = default;
-    explicit BackendHealth(Options opt) : opt_(opt) {}
+    BackendHealth() : BackendHealth(Options()) {}
+    explicit BackendHealth(Options opt)
+    {
+        for (SlidingBreaker &b : b_)
+            b = SlidingBreaker(opt);
+    }
 
     /**
      * zkp::BackendMonitor: gate one prove's use of `backend`.
@@ -120,30 +91,16 @@ class BackendHealth final : public zkp::BackendMonitor
     allow(zkp::ProverBackend backend) override
     {
         std::lock_guard<std::mutex> lk(mu_);
-        B &b = b_[std::size_t(backend)];
+        SlidingBreaker &b = b_[std::size_t(backend)];
         // Injected lying health signal: spuriously deny a healthy
         // backend. Routing-only; never a correctness hazard.
         if (faultsim::active() &&
             faultsim::shouldFire(faultsim::FaultKind::Launch,
                                  "service.breaker", allowSeq_++)) {
-            ++b.denials;
+            b.countDenial();
             return false;
         }
-        switch (b.state) {
-        case BreakerState::Closed:
-            return true;
-        case BreakerState::HalfOpen:
-            return true;
-        case BreakerState::Open:
-            ++b.denials;
-            if (b.denials >= b.cooldownTarget) {
-                b.state = BreakerState::HalfOpen;
-                b.probeOk = 0;
-                return true; // the probe
-            }
-            return false;
-        }
-        return true;
+        return b.allow();
     }
 
     /** zkp::BackendMonitor: one attempt's outcome and latency. */
@@ -152,50 +109,18 @@ class BackendHealth final : public zkp::BackendMonitor
            double seconds) override
     {
         std::lock_guard<std::mutex> lk(mu_);
-        B &b = b_[std::size_t(backend)];
-        ++b.attempts;
+        SlidingBreaker &b = b_[std::size_t(backend)];
+        b.countAttempt();
         if (neutral(status.code()))
             return; // don't blame the backend for the caller's stop
-        bool ok = status.isOk();
-        if (!ok)
-            ++b.failures;
-        b.outcomes.push_back(ok);
-        b.latencies.push_back(seconds);
-        while (b.outcomes.size() > opt_.window) {
-            b.outcomes.pop_front();
-            b.latencies.pop_front();
-        }
-        switch (b.state) {
-        case BreakerState::Closed:
-            if (b.outcomes.size() >= opt_.minSamples &&
-                failureRate(b) >= opt_.failureThreshold)
-                open(b);
-            break;
-        case BreakerState::HalfOpen:
-            if (!ok) {
-                open(b); // probe failed: back to open, new cooldown
-            } else if (++b.probeOk >= opt_.probeSuccesses) {
-                b.state = BreakerState::Closed;
-                b.outcomes.clear(); // forget the brown-out window
-                b.latencies.clear();
-            }
-            break;
-        case BreakerState::Open:
-            // A hedged attempt admitted before the breaker opened
-            // can still report here; fold it into the window.
-            if (ok && b.outcomes.size() >= opt_.minSamples &&
-                failureRate(b) < opt_.failureThreshold) {
-                b.state = BreakerState::Closed;
-            }
-            break;
-        }
+        b.record(status.isOk(), seconds);
     }
 
     BreakerState
     state(zkp::ProverBackend backend) const
     {
         std::lock_guard<std::mutex> lk(mu_);
-        return b_[std::size_t(backend)].state;
+        return b_[std::size_t(backend)].state();
     }
 
     /** Count of backends allow() would currently admit. */
@@ -204,9 +129,8 @@ class BackendHealth final : public zkp::BackendMonitor
     {
         std::lock_guard<std::mutex> lk(mu_);
         std::size_t n = 0;
-        for (const B &b : b_)
-            if (b.state != BreakerState::Open ||
-                b.denials + 1 >= b.cooldownTarget)
+        for (const SlidingBreaker &b : b_)
+            if (b.wouldAllow())
                 ++n;
         return n;
     }
@@ -223,12 +147,12 @@ class BackendHealth final : public zkp::BackendMonitor
         std::lock_guard<std::mutex> lk(mu_);
         std::vector<std::size_t> idx = {0, 1, 2};
         auto rank = [this](std::size_t i) {
-            const B &b = b_[i];
-            int staterank = b.state == BreakerState::Closed ? 0
-                : b.state == BreakerState::HalfOpen        ? 1
-                                                           : 2;
-            return std::make_tuple(staterank, failureRate(b),
-                                   quantile(b.latencies, 0.99), i);
+            const SlidingBreaker &b = b_[i];
+            int staterank = b.state() == BreakerState::Closed ? 0
+                : b.state() == BreakerState::HalfOpen         ? 1
+                                                              : 2;
+            return std::make_tuple(staterank, b.failureRate(),
+                                   b.latencyQuantile(0.99), i);
         };
         std::sort(idx.begin(), idx.end(),
                   [&](std::size_t a, std::size_t c) {
@@ -246,34 +170,22 @@ class BackendHealth final : public zkp::BackendMonitor
         std::lock_guard<std::mutex> lk(mu_);
         Snapshot s;
         for (std::size_t i = 0; i < zkp::kProverBackendCount; ++i) {
-            const B &b = b_[i];
+            const SlidingBreaker &b = b_[i];
             BackendSnapshot &o = s.backend[i];
-            o.state = b.state;
-            o.attempts = b.attempts;
-            o.failures = b.failures;
-            o.opens = b.opens;
-            o.denials = b.denials;
-            o.windowFailureRate = failureRate(b);
-            o.p50Seconds = quantile(b.latencies, 0.5);
-            o.p99Seconds = quantile(b.latencies, 0.99);
-            s.totalOpens += b.opens;
+            o.state = b.state();
+            o.attempts = b.attempts();
+            o.failures = b.failures();
+            o.opens = b.opens();
+            o.denials = b.denials();
+            o.windowFailureRate = b.failureRate();
+            o.p50Seconds = b.latencyQuantile(0.5);
+            o.p99Seconds = b.latencyQuantile(0.99);
+            s.totalOpens += b.opens();
         }
         return s;
     }
 
   private:
-    struct B {
-        BreakerState state = BreakerState::Closed;
-        std::deque<bool> outcomes;
-        std::deque<double> latencies;
-        std::uint64_t attempts = 0;
-        std::uint64_t failures = 0;
-        std::uint64_t opens = 0;
-        std::uint64_t denials = 0;
-        std::uint64_t cooldownTarget = 0;
-        std::size_t probeOk = 0;
-    };
-
     /** Statuses that don't indict the backend. */
     static bool
     neutral(StatusCode code)
@@ -289,54 +201,8 @@ class BackendHealth final : public zkp::BackendMonitor
         }
     }
 
-    static double
-    failureRate(const B &b)
-    {
-        if (b.outcomes.empty())
-            return 0;
-        std::size_t bad = 0;
-        for (bool ok : b.outcomes)
-            bad += ok ? 0 : 1;
-        return double(bad) / double(b.outcomes.size());
-    }
-
-    static double
-    quantile(const std::deque<double> &window, double q)
-    {
-        if (window.empty())
-            return 0;
-        std::vector<double> sorted(window.begin(), window.end());
-        std::sort(sorted.begin(), sorted.end());
-        std::size_t idx = std::min(
-            sorted.size() - 1,
-            std::size_t(q * double(sorted.size() - 1) + 0.5));
-        return sorted[idx];
-    }
-
-    /** Caller holds mu_. Open (or re-open) with a seeded cooldown. */
-    void
-    open(B &b)
-    {
-        b.state = BreakerState::Open;
-        ++b.opens;
-        b.denials = 0;
-        b.probeOk = 0;
-        std::uint64_t jitter = 0;
-        if (opt_.cooldownJitter != 0) {
-            // splitmix-style hash of (seed, reopen count): the probe
-            // re-admission point is deterministic per breaker life.
-            std::uint64_t x = opt_.seed ^ (b.opens * 0x9E3779B97F4A7C15ull);
-            x ^= x >> 30;
-            x *= 0xBF58476D1CE4E5B9ull;
-            x ^= x >> 27;
-            jitter = x % (opt_.cooldownJitter + 1);
-        }
-        b.cooldownTarget = opt_.cooldownDenials + jitter;
-    }
-
-    Options opt_;
     mutable std::mutex mu_;
-    std::array<B, zkp::kProverBackendCount> b_{};
+    std::array<SlidingBreaker, zkp::kProverBackendCount> b_{};
     std::uint64_t allowSeq_ = 0;
 };
 

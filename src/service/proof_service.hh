@@ -38,6 +38,13 @@
  *    tables are paid once per circuit, not once per proof. A cache
  *    miss-under-pressure downgrades to proving uncached -- never a
  *    failure;
+ *  - multi-device scheduling: with a device topology (GZKP_DEVICES
+ *    or Options::deviceSpec), each proof's POLY and MSM stages are
+ *    placed onto a heterogeneous fleet of simulated GPUs and CPU
+ *    workers and pipelined across requests
+ *    (src/device/scheduler.hh); each device is its own quarantine
+ *    domain ("device.fail" / "device.mem" / "device.slow" fault
+ *    sites), and the proof bytes are identical on every topology;
  *  - batching: the scheduler pops one request by fair share, then
  *    drags every queued request for the *same circuit* (up to
  *    maxBatch) into the batch, sharing one cache resolution.
@@ -82,6 +89,8 @@
 #include <utility>
 #include <vector>
 
+#include "device/registry.hh"
+#include "device/scheduler.hh"
 #include "faultsim/faultsim.hh"
 #include "runtime/runtime.hh"
 #include "service/admission.hh"
@@ -112,6 +121,7 @@ class ProofService
     using Prover = zkp::SelfCheckingProver<Family>;
     using Verifier = typename Prover::Verifier;
     using Cache = ArtifactCache<Family>;
+    using Scheduler = device::StageScheduler<Family>;
     using CircuitId = std::size_t;
     using Clock = std::chrono::steady_clock;
 
@@ -151,6 +161,23 @@ class ProofService
 
         /** Initial tenant weights; GZKP_TENANT_WEIGHTS overrides. */
         std::map<std::uint64_t, std::uint64_t> tenantWeights;
+
+        /**
+         * Multi-device scheduling: a device topology spec in the
+         * registry.hh grammar (e.g. "v100:2,1080ti:1,cpu:4t"). Empty
+         * falls back to the GZKP_DEVICES environment variable; when
+         * that is empty too, proofs run single-lane through
+         * SelfCheckingProver as before. A malformed explicit spec
+         * throws StatusError at construction (an env typo is lenient
+         * and just disables the device path). Proof bytes are
+         * identical on every topology -- placement never touches the
+         * (circuit, witness, seed) -> proof function.
+         */
+        std::string deviceSpec;
+        /** Per-device queued-stage bound of the device scheduler. */
+        std::size_t deviceQueueDepth = 8;
+        /** Breaker tuning of the per-device failure domains. */
+        BreakerOptions deviceHealthOptions;
     };
 
     struct Request {
@@ -174,6 +201,11 @@ class ProofService
         std::uint64_t tenant = 0;
         bool hedged = false;   //!< a secondary backend was launched
         bool hedgeWon = false; //!< the secondary delivered the proof
+
+        /** Device-path placement (-1 = single-lane path). */
+        int polyDevice = -1;
+        int msmDevice = -1;
+        std::size_t deviceStageRetries = 0;
     };
 
     struct TenantStats {
@@ -211,6 +243,12 @@ class ProofService
         std::map<std::uint64_t, TenantStats> tenants;
         bool healthTracking = false;
         BackendHealth::Snapshot health;
+
+        /** Multi-device scheduling (empty when disabled). */
+        bool deviceScheduling = false;
+        std::vector<device::DeviceGauges> devices;
+        double deviceMakespan = 0; //!< modeled seconds, all devices
+        std::uint64_t deviceStageRetries = 0;
     };
 
     explicit ProofService(Options opt = Options(),
@@ -225,6 +263,25 @@ class ProofService
             queue_.setWeight(tenant, weight);
         for (const auto &[tenant, weight] : tenantWeightsFromEnv())
             queue_.setWeight(tenant, weight);
+
+        std::vector<device::DeviceSpec> devices;
+        if (!opt_.deviceSpec.empty()) {
+            auto parsed = device::parseTopology(opt_.deviceSpec);
+            if (!parsed.isOk())
+                throw StatusError(parsed.status());
+            devices = std::move(*parsed);
+        } else {
+            devices = device::topologyFromEnv();
+        }
+        if (!devices.empty()) {
+            typename Scheduler::Options sopt;
+            sopt.devices = std::move(devices);
+            sopt.maxQueueDepth = opt_.deviceQueueDepth;
+            sopt.selfCheck = opt_.selfCheck;
+            sopt.healthOptions = opt_.deviceHealthOptions;
+            scheduler_ =
+                std::make_unique<Scheduler>(std::move(sopt), verifier_);
+        }
     }
 
     ~ProofService() { stop(); }
@@ -486,8 +543,12 @@ class ProofService
             stats_.buildSecondsTotal += build_s;
         }
 
-        for (Pending &p : batch)
-            processOne(p, *circuit, art, hit);
+        if (scheduler_ != nullptr) {
+            processBatchOnDevices(batch, *circuit, art, hit);
+        } else {
+            for (Pending &p : batch)
+                processOne(p, *circuit, art, hit);
+        }
         return batch.size() + doomed.size();
     }
 
@@ -574,10 +635,20 @@ class ProofService
             s.healthTracking = true;
             s.health = h->snapshot();
         }
+        if (scheduler_ != nullptr) {
+            s.deviceScheduling = true;
+            typename Scheduler::Stats ds = scheduler_->stats();
+            s.devices = std::move(ds.devices);
+            s.deviceMakespan = ds.modeledMakespan;
+            s.deviceStageRetries = ds.stageRetries;
+        }
         return s;
     }
 
     Cache &cache() { return cache_; }
+
+    /** The device scheduler (nullptr when no topology configured). */
+    Scheduler *deviceScheduler() { return scheduler_.get(); }
 
   private:
     struct Pending;
@@ -722,10 +793,21 @@ class ProofService
             runHedged(p, c, popt, token, *secondary, res, rep);
         }
         res.proveSeconds = seconds(Clock::now() - start);
+        finishResult(p, std::move(res), &rep);
+    }
 
-        // Late drop: a proof that finished after its deadline is a
-        // typed error, never a delivered proof -- the service hands
-        // out zero post-deadline proofs, structurally.
+    /**
+     * Shared tail of both proving paths: the late drop, the stats
+     * bookkeeping, and the promise fulfilment.
+     *
+     * Late drop: a proof that finished after its deadline is a typed
+     * error, never a delivered proof -- the service hands out zero
+     * post-deadline proofs, structurally.
+     */
+    void
+    finishResult(Pending &p, Result res,
+                 const typename Prover::Report *rep = nullptr)
+    {
         bool late = false;
         if (res.status.isOk() && p.hasDeadline &&
             Clock::now() > p.deadline) {
@@ -760,7 +842,8 @@ class ProofService
                 if (res.hedgeWon)
                     ++stats_.hedgeWins;
             }
-            stats_.backendsSkipped += rep.backendsSkipped;
+            if (rep != nullptr)
+                stats_.backendsSkipped += rep->backendsSkipped;
             if (res.cacheBypass)
                 ++stats_.cacheBypasses;
             stats_.queueSecondsTotal += res.queueSeconds;
@@ -769,6 +852,78 @@ class ProofService
                 std::max(0.0, inFlightCost_ - p.costEstimate);
         }
         p.promise.set_value(std::move(res));
+    }
+
+    /**
+     * The multi-device path: submit the whole same-circuit batch to
+     * the stage scheduler and collect the futures. Submitting first
+     * and collecting after is what buys the pipeline overlap -- the
+     * POLY of request k+1 runs while the MSM of request k is still
+     * in flight on another device. The artifact pointer and the
+     * per-request cancel tokens outlive every job because both live
+     * in this frame until the last future resolves.
+     */
+    void
+    processBatchOnDevices(std::vector<Pending> &batch, const Circuit &c,
+                          const typename Cache::ArtifactPtr &art,
+                          bool hit)
+    {
+        struct InFlight {
+            std::unique_ptr<runtime::CancelToken> token;
+            std::future<typename Scheduler::Result> fut;
+            Clock::time_point start;
+            Status submitError;
+            bool submitted = false;
+        };
+        std::vector<InFlight> flight(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending &p = batch[i];
+            InFlight &f = flight[i];
+            f.start = Clock::now();
+            f.token = std::make_unique<runtime::CancelToken>();
+            f.token->linkParent(&shutdown_);
+            if (p.hasDeadline)
+                f.token->setDeadline(p.deadline);
+            typename Scheduler::Job job;
+            job.pk = &c.pk;
+            job.vk = &c.vk;
+            job.cs = &c.cs;
+            job.witness = std::move(p.witness);
+            job.seed = p.seed;
+            if (art) {
+                job.artifacts = &art->msm;
+                job.domain = &art->domain;
+            }
+            job.cancel = f.token.get();
+            auto sub = scheduler_->submit(std::move(job));
+            if (sub.isOk()) {
+                f.fut = std::move(*sub);
+                f.submitted = true;
+            } else {
+                f.submitError = sub.status();
+            }
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending &p = batch[i];
+            InFlight &f = flight[i];
+            Result res;
+            res.cacheHit = hit && art != nullptr;
+            res.cacheBypass = art == nullptr;
+            res.tenant = p.tenant;
+            res.queueSeconds = seconds(f.start - p.admitted);
+            if (f.submitted) {
+                typename Scheduler::Result r = f.fut.get();
+                res.status = std::move(r.status);
+                res.proof = std::move(r.proof);
+                res.polyDevice = r.polyDevice;
+                res.msmDevice = r.msmDevice;
+                res.deviceStageRetries = r.stageRetries;
+            } else {
+                res.status = f.submitError;
+            }
+            res.proveSeconds = seconds(Clock::now() - f.start);
+            finishResult(p, std::move(res));
+        }
     }
 
     /**
@@ -895,6 +1050,9 @@ class ProofService
     bool stopping_ = false;
     std::thread worker_;
     Stats stats_;
+    /** Declared last: destroyed first, while the circuits and the
+        cache its in-flight jobs borrow from are still alive. */
+    std::unique_ptr<Scheduler> scheduler_;
 };
 
 /** The BN254 verifier callback for the service's self-check. */

@@ -496,6 +496,171 @@ runOverloadChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed)
     return out;
 }
 
+// ------------------------------------------------------- device chaos
+
+/**
+ * The fixed heterogeneous topology of the device chaos sweep: one
+ * V100-geometry GPU, one 1080 Ti-geometry GPU, two single-thread CPU
+ * workers -- instance names v100.0, 1080ti.0, cpu.0, cpu.1, which is
+ * what the per-instance fault sites below target.
+ */
+inline constexpr const char *kDeviceChaosTopology =
+    "v100:1,1080ti:1,cpu:2";
+
+/**
+ * The multi-device scheduler's probe sites on top of the overload
+ * vocabulary. Separate list again: earlier sweeps keep their
+ * per-seed plans.
+ */
+inline const std::vector<std::string> &
+deviceChaosSites()
+{
+    static const std::vector<std::string> sites = [] {
+        std::vector<std::string> s = overloadChaosSites();
+        s.push_back("device.fail");
+        s.push_back("device.mem");
+        s.push_back("device.slow");
+        s.push_back("device");
+        s.push_back("device.fail.v100.0");
+        s.push_back("device.slow.1080ti.0");
+        s.push_back("device.mem.cpu.0");
+        return s;
+    }();
+    return sites;
+}
+
+/**
+ * randomOverloadFaultPlan() over the device vocabulary, biased
+ * toward the per-device sites. Arms landing on a device site get
+ * the kind its probes actually check (mem is an allocation probe,
+ * fail/slow are launch probes), so biased arms really fire.
+ */
+inline faultsim::FaultPlan
+randomDeviceFaultPlan(std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, 0xDFA));
+    faultsim::FaultPlan plan;
+    plan.seed = deriveSeed(seed, 0xDFB);
+    if (seed % 16 == 0)
+        return plan;
+    static const std::vector<std::string> bias = {
+        "device.fail",        "device.mem",
+        "device.slow",        "device.fail.v100.0",
+        "device.slow.1080ti.0", "device.mem.cpu.0"};
+    std::size_t arms = 1 + rng() % 3;
+    static const std::uint64_t periods[] = {1, 1, 2, 3, 5, 17, 64};
+    static const std::uint64_t limits[] = {0, 0, 1, 1, 2, 5};
+    const auto &sites = deviceChaosSites();
+    for (std::size_t i = 0; i < arms; ++i) {
+        faultsim::FaultArm arm;
+        // 50% of arms target the device sites directly.
+        arm.site = rng() % 2 == 0 ? bias[rng() % bias.size()]
+                                  : sites[rng() % sites.size()];
+        if (arm.site.rfind("device.mem", 0) == 0)
+            arm.kind = faultsim::FaultKind::Alloc;
+        else if (arm.site.rfind("device", 0) == 0)
+            arm.kind = faultsim::FaultKind::Launch;
+        else
+            arm.kind =
+                faultsim::FaultKind(rng() % faultsim::kFaultKindCount);
+        arm.period = periods[rng() % (sizeof(periods) /
+                                      sizeof(periods[0]))];
+        arm.limit =
+            limits[rng() % (sizeof(limits) / sizeof(limits[0]))];
+        plan.arms.push_back(arm);
+    }
+    return plan;
+}
+
+/**
+ * Run a ProofService on the fixed heterogeneous topology under
+ * `plan`: the full device scheduler is live (placement, pipelining,
+ * per-device breakers, inline stage retries), plus the usual tenant
+ * and deadline mix. Invariant: valid proof or clean typed error,
+ * never a bad proof. Every device.* site is routing/timing-only --
+ * a failed stage is recomputed bit-identically on a re-placed device
+ * -- so plans whose arms touch only device and routing sites must
+ * deliver bytes equal to the fault-free single-lane reference.
+ */
+inline OverloadChaosOutcome
+runDeviceChaosPlan(const faultsim::FaultPlan &plan, std::uint64_t seed)
+{
+    using Service = service::ProofService<zkp::Bn254Family>;
+    const ChaosFixture &fx = chaosFixture();
+    const auto &refs = overloadReferenceProofs(); // before the guard
+    OverloadChaosOutcome out;
+
+    bool routingOnly = true;
+    for (const auto &arm : plan.arms) {
+        bool routing = arm.site == "service.shed" ||
+            arm.site == "service.hedge" ||
+            arm.site == "service.breaker" ||
+            arm.site == "service.queue" ||
+            arm.site.rfind("device", 0) == 0;
+        if (!routing)
+            routingOnly = false;
+    }
+
+    faultsim::ScopedFaultPlan guard(plan);
+    typename Service::Options opt;
+    opt.threads = 2;
+    opt.maxQueueDepth = kOverloadChaosRequests;
+    opt.cacheBytes = 64ull << 20;
+    opt.deviceSpec = kDeviceChaosTopology;
+    opt.tenantWeights = {{0, 4}, {1, 1}, {2, 1}};
+    auto svc = service::makeBn254ProofService(opt);
+    auto cid = svc->registerCircuit(fx.keys.pk, fx.keys.vk,
+                                    fx.builder.cs());
+
+    struct Slot {
+        std::future<typename Service::Result> fut;
+        std::size_t idx;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t i = 0; i < kOverloadChaosRequests; ++i) {
+        typename Service::Request req;
+        req.circuit = cid;
+        req.witness = fx.builder.assignment();
+        req.seed = deriveSeed(0xB17E, i); // fixed: matches refs
+        req.tenant = i % 3;
+        req.priority = int(i % 2);
+        switch ((seed + i) % 4) {
+        case 1: req.timeout = std::chrono::milliseconds(5000); break;
+        case 2: req.timeout = std::chrono::milliseconds(1); break;
+        default: break; // no deadline
+        }
+        auto admitted = svc->submit(std::move(req));
+        if (!admitted.isOk()) {
+            ++out.rejectedAtQueue;
+            continue;
+        }
+        slots.push_back(Slot{std::move(*admitted), i});
+    }
+    svc->drain();
+
+    for (Slot &s : slots) {
+        typename Service::Result res = s.fut.get();
+        if (res.status.isOk() && res.proof.has_value()) {
+            if (zkp::verifyBn254(fx.keys.vk, *res.proof,
+                                 fx.publicInputs)) {
+                ++out.proofsOk;
+                if (routingOnly &&
+                    zkp::serializeProof<zkp::Bn254Family>(
+                        *res.proof) != refs[s.idx])
+                    out.byteMismatch = true;
+            } else {
+                out.releasedBadProof = true;
+            }
+        } else if (!res.status.isOk()) {
+            ++out.typedErrors;
+        } else {
+            out.releasedBadProof = true;
+        }
+    }
+    out.fires = faultsim::firedCount();
+    return out;
+}
+
 } // namespace gzkp::testkit
 
 #endif // GZKP_TESTKIT_CHAOS_HH

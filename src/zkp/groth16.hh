@@ -204,15 +204,112 @@ class Groth16
     }
 
     /**
+     * The five MSM-stage results, kept separate so a scheduler can
+     * run the stage on one executor and combine on another.
+     */
+    struct MsmOutputs {
+        G1 a;  //!< over aQuery and z
+        G2 b2; //!< over b2Query and z
+        G1 b1; //!< over b1Query and z
+        G1 l;  //!< over lQuery and the aux slice of z
+        G1 h;  //!< over hQuery and the h polynomial
+    };
+
+    /**
+     * POLY stage: the seven NTTs producing the h polynomial, exactly
+     * as prove() runs them. A pure function of (pk, cs, z) -- the
+     * prover randomness (r, s) is *not* drawn here, so a placement
+     * scheduler can run this stage anywhere, draw (r, s) from the
+     * request rng afterwards, and still match the single-lane
+     * prove() bytes draw for draw.
+     */
+    template <typename NttEngine = CpuNttEngine<Fr>>
+    static std::vector<Fr>
+    polyStage(const ProvingKey &pk, const R1cs<Fr> &cs,
+              const std::vector<Fr> &z, const ntt::Domain<Fr> &dom,
+              const NttEngine &ntt_engine = NttEngine())
+    {
+        auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
+        h.resize(pk.hQuery.size()); // degree <= N-2
+        // Simulated soft error on the POLY-stage output held in
+        // device memory between the two prover stages.
+        faultsim::maybeCorruptElement(faultsim::FaultKind::BitFlip,
+                                      h.data(), h.size(),
+                                      "groth16.poly.h", 0);
+        return h;
+    }
+
+    /**
+     * MSM stage: the five MSMs, run concurrently via parallelInvoke.
+     * Every MSM engine is itself thread-count deterministic and the
+     * results are combined (assembleProof) in a fixed order, so the
+     * proof bytes are identical at any thread count.
+     */
+    template <typename MsmPolicy = GzkpMsmPolicy>
+    static MsmOutputs
+    msmStage(const ProvingKey &pk, const std::vector<Fr> &z,
+             const std::vector<Fr> &h, std::size_t threads = 0)
+    {
+        std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
+                                    z.end());
+        MsmOutputs m;
+        runtime::parallelInvoke(
+            threads,
+            {
+                [&](std::size_t t) {
+                    m.a = MsmPolicy::msm(pk.aQuery, z, t);      // MSM 1
+                },
+                [&](std::size_t t) {
+                    m.b2 = MsmPolicy::msm(pk.b2Query, z, t);    // MSM 2
+                },
+                [&](std::size_t t) {
+                    m.b1 = MsmPolicy::msm(pk.b1Query, z, t);    // MSM 3
+                },
+                [&](std::size_t t) {
+                    m.l = MsmPolicy::msm(pk.lQuery,             // MSM 4
+                                         aux_scalars, t);
+                },
+                [&](std::size_t t) {
+                    m.h = MsmPolicy::msm(pk.hQuery, h, t);      // MSM 5
+                },
+            });
+        return m;
+    }
+
+    /**
+     * Fold the five MSM results and the prover randomness into the
+     * three proof points. Fixed combination order: the bytes depend
+     * only on the inputs, never on where the MSMs ran.
+     */
+    static Proof
+    assembleProof(const ProvingKey &pk, const MsmOutputs &m,
+                  const Fr &r, const Fr &s)
+    {
+        G1 a_pt = G1::fromAffine(pk.alphaG1) + m.a +
+            G1::fromAffine(pk.deltaG1).mul(r);
+        G2 b2_pt = G2::fromAffine(pk.betaG2) + m.b2 +
+            G2::fromAffine(pk.deltaG2).mul(s);
+        G1 b1_pt = G1::fromAffine(pk.betaG1) + m.b1 +
+            G1::fromAffine(pk.deltaG1).mul(s);
+        G1 c_pt = m.l + m.h + a_pt.mul(s) + b1_pt.mul(r) -
+            G1::fromAffine(pk.deltaG1).mul(r * s);
+
+        Proof p;
+        p.a = a_pt.toAffine();
+        p.b = b2_pt.toAffine();
+        p.c = c_pt.toAffine();
+        return p;
+    }
+
+    /**
      * Generate a proof. `z` is the full assignment (with z[0] = 1),
      * already checked to satisfy the constraint system.
      *
      * `threads` is the CPU runtime budget (0 = GZKP_THREADS default).
-     * The five MSMs are independent, so they run concurrently via
-     * parallelInvoke, each handed an equal share of the budget for
-     * its own bucket-level parallelism; every MSM engine is itself
-     * thread-count deterministic and the results are combined in a
-     * fixed order, so the proof bytes are identical at any count.
+     * Composed from the staged helpers above; the stage split is an
+     * implementation boundary only -- for the same rng stream the
+     * bytes are identical whether the stages run here back to back or
+     * on two different devices (pinned by tests/test_device.cc).
      */
     template <typename MsmPolicy = GzkpMsmPolicy,
               typename NttEngine = CpuNttEngine<Fr>, typename Rng>
@@ -227,13 +324,7 @@ class Groth16
 
         // --- POLY stage: seven NTTs. ---
         ntt::Domain<Fr> dom(pk.domainLog);
-        auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
-        h.resize(pk.hQuery.size()); // degree <= N-2
-        // Simulated soft error on the POLY-stage output held in
-        // device memory between the two prover stages.
-        faultsim::maybeCorruptElement(faultsim::FaultKind::BitFlip,
-                                      h.data(), h.size(),
-                                      "groth16.poly.h", 0);
+        auto h = polyStage(pk, cs, z, dom, ntt_engine);
 
         Fr r = Fr::random(rng);
         Fr s = Fr::random(rng);
@@ -243,45 +334,8 @@ class Groth16
         }
 
         // --- MSM stage: five MSMs, run concurrently. ---
-        std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
-                                    z.end());
-        G1 msm_a, msm_b1, msm_l, msm_h;
-        G2 msm_b2;
-        runtime::parallelInvoke(
-            threads,
-            {
-                [&](std::size_t t) {
-                    msm_a = MsmPolicy::msm(pk.aQuery, z, t);    // MSM 1
-                },
-                [&](std::size_t t) {
-                    msm_b2 = MsmPolicy::msm(pk.b2Query, z, t);  // MSM 2
-                },
-                [&](std::size_t t) {
-                    msm_b1 = MsmPolicy::msm(pk.b1Query, z, t);  // MSM 3
-                },
-                [&](std::size_t t) {
-                    msm_l = MsmPolicy::msm(pk.lQuery,           // MSM 4
-                                           aux_scalars, t);
-                },
-                [&](std::size_t t) {
-                    msm_h = MsmPolicy::msm(pk.hQuery, h, t);    // MSM 5
-                },
-            });
-
-        G1 a_pt = G1::fromAffine(pk.alphaG1) + msm_a +
-            G1::fromAffine(pk.deltaG1).mul(r);
-        G2 b2_pt = G2::fromAffine(pk.betaG2) + msm_b2 +
-            G2::fromAffine(pk.deltaG2).mul(s);
-        G1 b1_pt = G1::fromAffine(pk.betaG1) + msm_b1 +
-            G1::fromAffine(pk.deltaG1).mul(s);
-        G1 c_pt = msm_l + msm_h + a_pt.mul(s) + b1_pt.mul(r) -
-            G1::fromAffine(pk.deltaG1).mul(r * s);
-
-        Proof p;
-        p.a = a_pt.toAffine();
-        p.b = b2_pt.toAffine();
-        p.c = c_pt.toAffine();
-        return p;
+        MsmOutputs m = msmStage<MsmPolicy>(pk, z, h, threads);
+        return assembleProof(pk, m, r, s);
     }
 
     /**
@@ -374,11 +428,7 @@ class Groth16
                 "proving key");
 
         // --- POLY stage: identical to prove(). ---
-        auto h = computeH(dom, polyInputs(cs, z, dom), ntt_engine);
-        h.resize(pk.hQuery.size());
-        faultsim::maybeCorruptElement(faultsim::FaultKind::BitFlip,
-                                      h.data(), h.size(),
-                                      "groth16.poly.h", 0);
+        auto h = polyStage(pk, cs, z, dom, ntt_engine);
 
         Fr r = Fr::random(rng);
         Fr s = Fr::random(rng);
@@ -388,44 +438,45 @@ class Groth16
         }
 
         // --- MSM stage over the preprocessed tables. ---
+        MsmOutputs m = msmStageWithArtifacts(pk, art, z, h, threads);
+        return assembleProof(pk, m, r, s);
+    }
+
+    /**
+     * msmStage() over cached Algorithm-1 tables: the GZKP engine's
+     * run() phase only. Preprocessing is a pure deterministic
+     * function of the key, so the outputs are bit-identical to
+     * msmStage<GzkpMsmPolicy>() rebuilding the tables from scratch.
+     */
+    static MsmOutputs
+    msmStageWithArtifacts(const ProvingKey &pk, const MsmArtifacts &art,
+                          const std::vector<Fr> &z,
+                          const std::vector<Fr> &h,
+                          std::size_t threads = 0)
+    {
         std::vector<Fr> aux_scalars(z.begin() + pk.numPublic + 1,
                                     z.end());
-        G1 msm_a, msm_b1, msm_l, msm_h;
-        G2 msm_b2;
+        MsmOutputs m;
         runtime::parallelInvoke(
             threads,
             {
                 [&](std::size_t t) {
-                    msm_a = runPreprocessedG1(art.a, z, t);
+                    m.a = runPreprocessedG1(art.a, z, t);
                 },
                 [&](std::size_t t) {
-                    msm_b2 = runPreprocessedG2(art.b2, z, t);
+                    m.b2 = runPreprocessedG2(art.b2, z, t);
                 },
                 [&](std::size_t t) {
-                    msm_b1 = runPreprocessedG1(art.b1, z, t);
+                    m.b1 = runPreprocessedG1(art.b1, z, t);
                 },
                 [&](std::size_t t) {
-                    msm_l = runPreprocessedG1(art.l, aux_scalars, t);
+                    m.l = runPreprocessedG1(art.l, aux_scalars, t);
                 },
                 [&](std::size_t t) {
-                    msm_h = runPreprocessedG1(art.h, h, t);
+                    m.h = runPreprocessedG1(art.h, h, t);
                 },
             });
-
-        G1 a_pt = G1::fromAffine(pk.alphaG1) + msm_a +
-            G1::fromAffine(pk.deltaG1).mul(r);
-        G2 b2_pt = G2::fromAffine(pk.betaG2) + msm_b2 +
-            G2::fromAffine(pk.deltaG2).mul(s);
-        G1 b1_pt = G1::fromAffine(pk.betaG1) + msm_b1 +
-            G1::fromAffine(pk.deltaG1).mul(s);
-        G1 c_pt = msm_l + msm_h + a_pt.mul(s) + b1_pt.mul(r) -
-            G1::fromAffine(pk.deltaG1).mul(r * s);
-
-        Proof p;
-        p.a = a_pt.toAffine();
-        p.b = b2_pt.toAffine();
-        p.c = c_pt.toAffine();
-        return p;
+        return m;
     }
 
     /** Status-returning proveWithArtifacts(); see proveChecked(). */

@@ -476,6 +476,34 @@ TEST(ServiceChaos, OverloadChaosSweep)
     EXPECT_GT(hedged, 0u); // forced-hedge runs must actually hedge
 }
 
+/**
+ * The device sweep (PR 9): seeded plans biased toward the per-device
+ * fault sites (device.fail / device.mem / device.slow, generic and
+ * instance-targeted) run against a service on the fixed heterogeneous
+ * topology -- placement, pipelining, per-device breakers and inline
+ * stage retries all live. Invariant: valid proof or clean typed
+ * error, never a bad proof -- and since every device site is
+ * routing/timing-only, plans touching only device and routing sites
+ * must deliver bytes identical to the fault-free single-lane
+ * reference.
+ */
+TEST(ServiceChaos, DeviceChaosSweep)
+{
+    std::size_t proofs = 0, errors = 0;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        auto plan = testkit::randomDeviceFaultPlan(seed);
+        auto out = testkit::runDeviceChaosPlan(plan, seed);
+        ASSERT_TRUE(out.clean())
+            << "seed " << seed << " plan \"" << plan.toString()
+            << (out.releasedBadProof ? "\" released a bad proof"
+                                     : "\" broke byte identity");
+        proofs += out.proofsOk;
+        errors += out.typedErrors + out.rejectedAtQueue;
+    }
+    EXPECT_GT(proofs, 0u);
+    EXPECT_GT(errors, 0u);
+}
+
 /** The fuzz-registry fault target agrees with the direct sweep. */
 TEST(Chaos, FuzzFaultTargetSweep)
 {

@@ -9,6 +9,9 @@
 #include "gpusim/device.hh"
 #include "gpusim/memtrace.hh"
 #include "gpusim/perf_model.hh"
+#include "msm/msm_gzkp.hh"
+#include "ntt/ntt_gpu.hh"
+#include "zkp/families.hh"
 
 using namespace gzkp::gpusim;
 
@@ -190,4 +193,109 @@ TEST(PerfModel, CpuModelAnchoredOnPaperNumbers)
     CpuConfig wide = cpu;
     wide.threads = 112;
     EXPECT_LT(cpuModelSeconds(s, wide), t);
+}
+
+/**
+ * Placement-model sanity (the multi-device scheduler ranks devices
+ * with these numbers): for a fixed kernel report, a strictly better
+ * device -- more SMs, more bandwidth, wider DP pipes -- must never be
+ * modeled *slower*. numBlocks is large so the SM sweep is never
+ * occupancy-clipped, and the numBlocks = 0 dense-grid convention is
+ * covered separately.
+ */
+TEST(PerfModel, MonotoneInDeviceResources)
+{
+    KernelStats s;
+    s.fieldMuls = 5e8;
+    s.fieldAdds = 2e9;
+    s.linesTouched = 60'000'000;
+    s.usefulBytes = s.linesTouched * 32;
+    s.numBlocks = 8192;
+
+    for (Backend backend : {Backend::IntOnly, Backend::FpuLib}) {
+        double prev = -1.0;
+        for (std::size_t sms = 8; sms <= 128; sms += 8) {
+            DeviceConfig dev = DeviceConfig::v100();
+            dev.numSMs = sms;
+            double t = modelSeconds(s, dev, backend);
+            ASSERT_GT(t, 0.0);
+            if (prev >= 0) {
+                EXPECT_LE(t, prev) << "SMs " << sms << " slower";
+            }
+            prev = t;
+        }
+        prev = -1.0;
+        for (double bw = 100.0; bw <= 1200.0; bw += 100.0) {
+            DeviceConfig dev = DeviceConfig::v100();
+            dev.memBandwidthGBps = bw;
+            double t = modelSeconds(s, dev, backend);
+            ASSERT_GT(t, 0.0);
+            if (prev >= 0) {
+                EXPECT_LE(t, prev) << "bandwidth " << bw << " slower";
+            }
+            prev = t;
+        }
+    }
+    // Wider DP pipes only ever help the FP-library backend.
+    double prev = -1.0;
+    for (double dp = 2.0; dp <= 32.0; dp *= 2.0) {
+        DeviceConfig dev = DeviceConfig::v100();
+        dev.dpFmaPerSMPerCycle = dp;
+        double t = modelSeconds(s, dev, Backend::FpuLib);
+        if (prev >= 0) {
+            EXPECT_LE(t, prev) << "DP " << dp << " slower";
+        }
+        prev = t;
+    }
+}
+
+/** Same monotonicity under the numBlocks = 0 dense-grid convention. */
+TEST(PerfModel, MonotoneInDeviceResourcesDenseGrid)
+{
+    KernelStats s;
+    s.fieldMuls = 1e9;
+    s.linesTouched = 10'000'000;
+    s.usefulBytes = s.linesTouched * 32;
+    s.numBlocks = 0; // modeled as filling the chip
+
+    double prev = -1.0;
+    for (std::size_t sms = 8; sms <= 128; sms += 8) {
+        DeviceConfig dev = DeviceConfig::v100();
+        dev.numSMs = sms;
+        double t = modelSeconds(s, dev, Backend::FpuLib);
+        ASSERT_GT(t, 0.0);
+        if (prev >= 0) {
+            EXPECT_LE(t, prev) << "SMs " << sms << " slower";
+        }
+        prev = t;
+    }
+}
+
+/**
+ * The cross-device ranking the scheduler's seed estimates rely on:
+ * at proving scales, the V100 geometry is never slower than the
+ * 1080 Ti geometry for the same NTT or MSM kernel report.
+ */
+TEST(PerfModel, V100NeverSlowerThan1080TiOnProverKernels)
+{
+    auto v100 = DeviceConfig::v100();
+    auto ti = DeviceConfig::gtx1080ti();
+    for (std::size_t log_n : {12u, 14u, 16u, 18u}) {
+        gzkp::ntt::GzkpNtt<gzkp::zkp::Bn254Family::Fr> eng;
+        double tv = gzkp::ntt::nttModelSeconds(eng.stats(log_n, v100),
+                                               v100, Backend::FpuLib);
+        double tt = gzkp::ntt::nttModelSeconds(eng.stats(log_n, ti),
+                                               ti, Backend::FpuLib);
+        EXPECT_LE(tv, tt) << "NTT log_n " << log_n;
+    }
+    using G1Cfg = gzkp::zkp::Bn254Family::G1Cfg;
+    for (std::size_t n : {1u << 12, 1u << 16}) {
+        gzkp::msm::GzkpMsm<G1Cfg> mv({}, v100);
+        gzkp::msm::GzkpMsm<G1Cfg> mt({}, ti);
+        double tv = modelSeconds(mv.gpuStats(n, v100), v100,
+                                 Backend::FpuLib);
+        double tt = modelSeconds(mt.gpuStats(n, ti), ti,
+                                 Backend::FpuLib);
+        EXPECT_LE(tv, tt) << "MSM n " << n;
+    }
 }

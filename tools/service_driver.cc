@@ -6,8 +6,8 @@
  *                    [--constraints=10] [--queue-depth=64]
  *                    [--batch=8] [--threads=0] [--cache-bytes=SPEC]
  *                    [--deadline-ms=N] [--tenant-weights=SPEC]
- *                    [--force-hedge] [--background] [--verify]
- *                    [--verbose]
+ *                    [--devices=SPEC] [--force-hedge] [--background]
+ *                    [--verify] [--verbose]
  *
  * Replays a synthetic multi-tenant trace (testkit::serviceTrace:
  * `circuits` tenants x `per-circuit` requests each, seeded arrival
@@ -20,7 +20,13 @@
  * own scheduler thread instead of draining inline; --verify
  * re-checks every released proof with the independent pairing
  * verifier. --cache-bytes takes the GZKP_CACHE_BYTES syntax (e.g.
- * 64m) and overrides the environment for this run.
+ * 64m) and overrides the environment for this run. --devices takes
+ * the GZKP_DEVICES topology syntax (e.g. "v100:2,1080ti:1,cpu:4t")
+ * and routes every proof through the multi-device stage scheduler;
+ * the end-of-run report then includes a per-device utilization
+ * breakdown. GZKP_FAULTS is honored (like the fuzz driver), so a
+ * seeded plan such as `launch@device.fail.v100.0:1` replays a
+ * device brown-out through the whole service.
  *
  * The replay summary breaks rejected and failed requests down by
  * their typed status code. A deliberate shed -- kDeadlineExceeded or
@@ -40,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "faultsim/faultsim.hh"
 #include "service/proof_service.hh"
 #include "testkit/testkit.hh"
 
@@ -60,6 +67,7 @@ struct Args {
     std::string cacheBytes;
     std::uint64_t deadlineMs = 0;
     std::string tenantWeights;
+    std::string devices;
     bool forceHedge = false;
     bool background = false;
     bool verify = false;
@@ -104,6 +112,8 @@ parseOne(Args &a, const std::string &arg)
         a.deadlineMs = std::strtoull(v, nullptr, 0);
     else if (const char *v = val("--tenant-weights"))
         a.tenantWeights = v;
+    else if (const char *v = val("--devices"))
+        a.devices = v;
     else if (arg == "--force-hedge")
         a.forceHedge = true;
     else if (arg == "--background")
@@ -137,6 +147,14 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    // Honor GZKP_FAULTS like the fuzz driver does, so seeded fault
+    // plans (e.g. a persistent device.fail.<name>) can be replayed
+    // through the whole service from the command line.
+    if (auto s = faultsim::installFromEnv(); !s.isOk()) {
+        std::fprintf(stderr, "bad GZKP_FAULTS: %s\n",
+                     s.toString().c_str());
+        return 2;
+    }
     if (!args.cacheBytes.empty()) {
         std::uint64_t b =
             service::parseCacheBytesSpec(args.cacheBytes.c_str());
@@ -162,6 +180,17 @@ main(int argc, char **argv)
             return 2;
         }
         opt.tenantWeights = std::move(*weights);
+    }
+    if (!args.devices.empty()) {
+        // Validate up front for a clean CLI error (the service ctor
+        // throws a typed StatusError on a malformed explicit spec).
+        auto topo = device::parseTopology(args.devices);
+        if (!topo.isOk()) {
+            std::fprintf(stderr, "bad --devices spec: %s\n",
+                         topo.status().toString().c_str());
+            return 2;
+        }
+        opt.deviceSpec = args.devices;
     }
     auto svc = service::makeBn254ProofService(opt);
 
@@ -294,6 +323,29 @@ main(int argc, char **argv)
                 (unsigned long long)st.hedgesLaunched,
                 (unsigned long long)st.hedgeWins,
                 (unsigned long long)st.backendsSkipped);
+    if (st.deviceScheduling) {
+        std::printf("  devices: makespan_s=%.4f stage_retries=%llu\n",
+                    st.deviceMakespan,
+                    (unsigned long long)st.deviceStageRetries);
+        for (const auto &g : st.devices) {
+            double util = st.deviceMakespan > 0
+                ? g.modeledBusySeconds / st.deviceMakespan
+                : 0.0;
+            std::printf("    %-12s %-9s poly=%llu msm=%llu "
+                        "busy_s=%.4f util=%5.1f%% fail=%llu "
+                        "quarantine=%llu slow=%llu breaker=%s "
+                        "samples=%llu\n",
+                        g.name.c_str(), device::name(g.kind),
+                        (unsigned long long)g.polyCompleted,
+                        (unsigned long long)g.msmCompleted,
+                        g.modeledBusySeconds, 100.0 * util,
+                        (unsigned long long)g.failures,
+                        (unsigned long long)g.quarantines,
+                        (unsigned long long)g.slowHits,
+                        service::name(g.breaker),
+                        (unsigned long long)g.costSamples);
+        }
+    }
 
     // The typed breakdown: deliberate sheds are reported, unexpected
     // codes fail the run.
