@@ -1,0 +1,59 @@
+#include "ff/lazy.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gzkp::ff {
+
+namespace {
+
+// Same discipline as msm::Accumulator: engines resolve the tier from
+// runtime worker threads while tests flip the default between runs.
+std::atomic<LazyTier> g_tier{LazyTier::Auto};
+
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s)
+        out.push_back(char(std::tolower(*s)));
+    return out;
+}
+
+LazyTier
+tierFromEnv()
+{
+    std::string v = lowered(std::getenv("GZKP_FF_LAZY"));
+    if (v.empty() || v == "lazy" || v == "on" || v == "1")
+        return LazyTier::Lazy;
+    if (v == "strict" || v == "off" || v == "0")
+        return LazyTier::Strict;
+    throw std::invalid_argument("GZKP_FF_LAZY: expected \"lazy\" or "
+                                "\"strict\", got \"" + v + "\"");
+}
+
+} // namespace
+
+LazyTier
+defaultLazyTier()
+{
+    LazyTier t = g_tier.load(std::memory_order_relaxed);
+    return t == LazyTier::Auto ? tierFromEnv() : t;
+}
+
+void
+setDefaultLazyTier(LazyTier t)
+{
+    g_tier.store(t, std::memory_order_relaxed);
+}
+
+bool
+lazyEnabled()
+{
+    return defaultLazyTier() == LazyTier::Lazy;
+}
+
+} // namespace gzkp::ff

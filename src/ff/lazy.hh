@@ -1,0 +1,40 @@
+#pragma once
+
+/*
+ * Lazy-reduction tier selection for the field core.
+ *
+ * The strict tier (the PR 7 invariant) fully reduces after every
+ * operation: every kernel on every ISA arm returns the canonical
+ * representative < p, and cross-arm checks compare raw limbs.
+ *
+ * The lazy tier relaxes the representation inside hot chains: values
+ * ride in [0, 2p) through NTT butterfly layers and batch-affine chord
+ * math, and the final conditional subtract per Montgomery multiply is
+ * skipped. Canonical form is restored only at serialization and
+ * comparison boundaries via canonicalize()/canonicalizeBatch(), so
+ * proof bytes are identical to the strict tier.
+ *
+ * Selection follows the msm::Accumulator pattern: Auto re-reads
+ * GZKP_FF_LAZY on each query; tests pin the default with
+ * setDefaultLazyTier(). The strict tier stays available as the
+ * reference arm for differential tests.
+ */
+
+namespace gzkp::ff {
+
+enum class LazyTier {
+    Auto,   ///< resolve from GZKP_FF_LAZY (default: Lazy)
+    Strict, ///< every op returns the canonical representative < p
+    Lazy,   ///< hot chains keep values in [0, 2p)
+};
+
+/** Resolved default (never Auto). Throws on a malformed env value. */
+LazyTier defaultLazyTier();
+
+/** Pin (or with Auto, unpin) the process-wide default. */
+void setDefaultLazyTier(LazyTier t);
+
+/** Convenience: defaultLazyTier() == LazyTier::Lazy. */
+bool lazyEnabled();
+
+} // namespace gzkp::ff

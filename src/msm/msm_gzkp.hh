@@ -31,6 +31,7 @@
 #define GZKP_MSM_MSM_GZKP_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
@@ -81,6 +82,21 @@ class GzkpMsm
          * acts at preprocess() time; run() follows what the table was
          * built with. */
         GlvMode glv = GlvMode::Auto;
+        /**
+         * Minimum average adds per bucket-delta slot before the
+         * batch-affine drain engages; below it the drain falls back
+         * to Jacobian even when the accumulator option asks for batch
+         * affine (the same modeled-cost principle as the scheduler's
+         * own kMinAffineRound side routing, one level up). A slot's
+         * first add is a plain fill and stages no chord, so at
+         * occupancy q only (q-1)/q of the entries can ride the shared
+         * inversion while every entry pays the staging copies; the
+         * measured crossover on the hot-path bench is between q = 4
+         * (2^14 GLV at k = 13: batch affine trails the Jacobian
+         * Horner walk) and q = 8+ (2^16: batch affine wins). 0
+         * forces the affine drain regardless of occupancy.
+         */
+        std::size_t minDrainOccupancy = 8;
     };
 
     /** The preprocessed (weighted, checkpointed) point set. */
@@ -134,6 +150,17 @@ class GzkpMsm
                          gpusim::DeviceConfig::v100())
         : opt_(opt), dev_(dev)
     {}
+
+    // Copies carry configuration only; the last-run drain counters
+    // are transient introspection (and atomics are not copyable).
+    GzkpMsm(const GzkpMsm &o) : opt_(o.opt_), dev_(o.dev_) {}
+    GzkpMsm &
+    operator=(const GzkpMsm &o)
+    {
+        opt_ = o.opt_;
+        dev_ = o.dev_;
+        return *this;
+    }
 
     /** Window bits actually used for an instance of size n. */
     std::size_t
@@ -301,6 +328,35 @@ class GzkpMsm
         return run(preprocess(points), scalars);
     }
 
+    /**
+     * Batch-affine drain introspection for the last run() (Horner +
+     * BatchAffine path only; zero otherwise). Aggregated across task
+     * groups with relaxed atomics -- the totals are deterministic
+     * because every group's add sequence is. The scheduler regression
+     * tests use this to pin that the round-robin drain actually
+     * resolves rounds as shared-inversion chords instead of
+     * degenerating into same-epoch collisions.
+     */
+    struct DrainStats {
+        std::uint64_t affineAdds = 0; //!< staged chord adds
+        std::uint64_t inversions = 0; //!< shared inversions performed
+        std::uint64_t collisions = 0; //!< same-round slot collisions
+        std::uint64_t doublings = 0;  //!< chord-invalid doublings
+        std::uint64_t sideRouted = 0; //!< small rounds drained as Jacobian
+    };
+
+    DrainStats
+    lastDrainStats() const
+    {
+        DrainStats s;
+        s.affineAdds = drainAffineAdds_.load(std::memory_order_relaxed);
+        s.inversions = drainInversions_.load(std::memory_order_relaxed);
+        s.collisions = drainCollisions_.load(std::memory_order_relaxed);
+        s.doublings = drainDoublings_.load(std::memory_order_relaxed);
+        s.sideRouted = drainSideRouted_.load(std::memory_order_relaxed);
+        return s;
+    }
+
     /** Total device memory footprint in bytes (Figure 9). */
     std::uint64_t
     memoryBytes(std::size_t n) const
@@ -425,6 +481,12 @@ class GzkpMsm
         std::size_t nbuckets = buckets.size();
         std::size_t chunks = pIndexChunks(nb, pp.windows, nbuckets);
 
+        drainAffineAdds_.store(0, std::memory_order_relaxed);
+        drainInversions_.store(0, std::memory_order_relaxed);
+        drainCollisions_.store(0, std::memory_order_relaxed);
+        drainDoublings_.store(0, std::memory_order_relaxed);
+        drainSideRouted_.store(0, std::memory_order_relaxed);
+
         // The three modeled kernels (merge, Horner, reduce) map to
         // the three phases below; each gets a launch probe.
         faultsim::checkLaunch("msm.gzkp.kernel.count", 0);
@@ -500,6 +562,19 @@ class GzkpMsm
             std::min(order.size(), runtime::kMaxChunks);
         bool ba = opt_.mode == CheckpointMode::Horner &&
             useBatchAffine(opt_.accumulator);
+        // Occupancy routing (see Options::minDrainOccupancy): with
+        // `pos` total entries spread over order.size() live buckets
+        // of s delta slots each, an average slot sees pos / (live*s)
+        // adds; when that is below the threshold the shared inversion
+        // and staging copies cannot amortize and the Jacobian walk is
+        // cheaper, so the request is routed there wholesale.
+        if (ba && opt_.minDrainOccupancy > 0) {
+            std::uint64_t s = std::min(
+                pp.m, std::max<std::size_t>(pp.windows, 1));
+            if (pos < std::uint64_t(opt_.minDrainOccupancy) *
+                          order.size() * s)
+                ba = false;
+        }
 
         faultsim::checkLaunch("msm.gzkp.kernel.bucket", 2);
         runtime::parallelForChunks(
@@ -597,16 +672,25 @@ class GzkpMsm
 
     /**
      * One task group's buckets on the batch-affine scheduler. The
-     * group's buckets share one accumulator with m slots per bucket
-     * (slot = localBucket * m + delta), and the drain is round-robin
-     * *across* buckets: a bucket's p_index range is consecutive, so a
-     * bucket-major walk would revisit the same slot every step and
-     * collide its way into pure Jacobian adds. Interleaving visits
-     * every live bucket once per round -- same-round slot repeats
-     * only arise on the heavy tail (few buckets left), where the
-     * side accumulator absorbs them. Entry order within a bucket is
-     * unchanged (ascending e), and groups are a pure function of the
-     * load histogram, so buckets[] stays thread-count invariant.
+     * group's buckets share one accumulator with s slots per bucket
+     * (slot = localBucket * s + delta, s = min(m, windows) -- with GLV
+     * on, the decomposed halves use fewer windows than the checkpoint
+     * interval, and the extra slots would only inflate the reset
+     * footprint and the unwind), and the drain is round-robin *across*
+     * buckets: a bucket's p_index range is consecutive, so a bucket-
+     * major walk would revisit the same slot every step and collide
+     * its way into pure Jacobian adds. Interleaving visits every live
+     * bucket once per round, and the *explicit per-round flush* is
+     * what re-arms the slots: the epoch only advances on flush, so
+     * without it every round after the first would find its slots
+     * still claimed and degrade into Jacobian side adds (a group's
+     * round is smaller than the accumulator's kBatch auto-flush
+     * threshold, so the drain must own the round boundary). Rounds on
+     * the heavy tail (fewer live buckets than kMinAffineRound) are
+     * side-routed by flush() itself, where the shared inversion would
+     * not amortize. Entry order within a bucket is unchanged
+     * (ascending e), and groups are a pure function of the load
+     * histogram, so buckets[] stays thread-count invariant.
      */
     void
     bucketGroupBatchAffine(const Preprocessed &pp,
@@ -618,11 +702,13 @@ class GzkpMsm
                            std::vector<Point> &buckets) const
     {
         std::size_t nb = pp.nb();
+        std::size_t s = std::min(pp.m, std::max<std::size_t>(
+                                           pp.windows, 1));
         std::vector<std::size_t> mine;
         for (std::size_t p = g; p < order.size(); p += groups)
             mine.push_back(order[p]);
 
-        BatchAffineAccumulator<Cfg> acc(mine.size() * pp.m);
+        BatchAffineAccumulator<Cfg> acc(mine.size() * s);
         bool more = true;
         for (std::uint64_t r = 0; more; ++r) {
             more = false;
@@ -634,18 +720,29 @@ class GzkpMsm
                 std::size_t t = std::size_t(p_index[e] / nb);
                 std::size_t j = std::size_t(p_index[e] % nb);
                 std::size_t c = t / pp.m, delta = t % pp.m;
-                acc.add(lb * pp.m + delta, preEntry(pp, neg, c, j));
+                acc.add(lb * s + delta, preEntry(pp, neg, c, j));
             }
+            acc.flush();
         }
-        acc.flush();
+
+        drainAffineAdds_.fetch_add(acc.affineAdds(),
+                                   std::memory_order_relaxed);
+        drainInversions_.fetch_add(acc.inversions(),
+                                   std::memory_order_relaxed);
+        drainCollisions_.fetch_add(acc.collisions(),
+                                   std::memory_order_relaxed);
+        drainDoublings_.fetch_add(acc.doublings(),
+                                  std::memory_order_relaxed);
+        drainSideRouted_.fetch_add(acc.sideRouted(),
+                                   std::memory_order_relaxed);
 
         for (std::size_t lb = 0; lb < mine.size(); ++lb) {
             std::size_t d = mine[lb];
-            Point x = acc.result(lb * pp.m + pp.m - 1);
-            for (std::size_t delta = pp.m - 1; delta-- > 0;) {
+            Point x = acc.result(lb * s + s - 1);
+            for (std::size_t delta = s - 1; delta-- > 0;) {
                 for (std::size_t j = 0; j < pp.k; ++j)
                     x = x.dbl();
-                x += acc.result(lb * pp.m + delta);
+                x += acc.result(lb * s + delta);
             }
             buckets[d] = x;
             faultsim::maybeCorruptPoint(faultsim::FaultKind::Bucket,
@@ -766,6 +863,13 @@ class GzkpMsm
 
     Options opt_;
     gpusim::DeviceConfig dev_;
+    // Last-run drain counters (see DrainStats); mutable because run()
+    // is const, atomic because task groups aggregate concurrently.
+    mutable std::atomic<std::uint64_t> drainAffineAdds_{0};
+    mutable std::atomic<std::uint64_t> drainInversions_{0};
+    mutable std::atomic<std::uint64_t> drainCollisions_{0};
+    mutable std::atomic<std::uint64_t> drainDoublings_{0};
+    mutable std::atomic<std::uint64_t> drainSideRouted_{0};
 };
 
 } // namespace gzkp::msm

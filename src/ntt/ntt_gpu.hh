@@ -188,6 +188,11 @@ class ShuffledNtt
                 std::swap(a[i], a[j]);
         }
 
+        // The whole transform rides in [0, 2p) under the lazy tier;
+        // one reduction at the end (absorbed by the INTT's strict
+        // nInv multiply).
+        const bool lazy = ff::lazyEligible<Fr>() && ff::lazyEnabled();
+
         std::size_t b = effectiveB(dev);
         std::vector<Fr> staged, scratch;
         for (const Batch &bt : makeBatches(log_n, b)) {
@@ -205,7 +210,7 @@ class ShuffledNtt
                 for (std::size_t j = 0; j < gsz; ++j)
                     staged[j] = a[base + j * stride];
                 butterfliesInGroup(dom, staged, base, bt,
-                                   scratch.data(), invert);
+                                   scratch.data(), invert, lazy);
                 for (std::size_t j = 0; j < gsz; ++j)
                     a[base + j * stride] = staged[j];
             }
@@ -216,6 +221,8 @@ class ShuffledNtt
 
         if (invert)
             ff::mulcBatch(a.data(), a.data(), dom.nInv(), n);
+        else if (lazy)
+            ff::canonicalizeBatch(a.data(), n);
     }
 
     /** Model statistics at any scale (no functional run needed). */
@@ -337,7 +344,7 @@ class ShuffledNtt
     void
     butterfliesInGroup(const Domain<Fr> &dom, std::vector<Fr> &g,
                        std::size_t base, const Batch &bt, Fr *scratch,
-                       bool invert) const
+                       bool invert, bool lazy) const
     {
         std::size_t s0 = bt.startIter;
         std::size_t low_mask = (std::size_t(1) << s0) - 1;
@@ -357,9 +364,14 @@ class ShuffledNtt
                     wrow[l] = invert ? dom.twiddleInv(iter, tw)
                                      : dom.twiddle(iter, tw);
                 }
-                for (std::size_t j0 = 0; j0 < g.size(); j0 += 2 * half)
-                    butterflyRows(&g[j0], &g[j0 + half], wrow, half,
-                                  mrow);
+                for (std::size_t j0 = 0; j0 < g.size(); j0 += 2 * half) {
+                    if (lazy)
+                        butterflyRowsLazy(&g[j0], &g[j0 + half], wrow,
+                                          half, mrow);
+                    else
+                        butterflyRows(&g[j0], &g[j0 + half], wrow,
+                                      half, mrow);
+                }
                 continue;
             }
             for (std::size_t j = 0; j < g.size(); ++j) {
@@ -371,6 +383,12 @@ class ShuffledNtt
                     ((j & (half - 1)) << s0);
                 const Fr &w = invert ? dom.twiddleInv(iter, tw)
                                      : dom.twiddle(iter, tw);
+                if (lazy) {
+                    // Inputs may be lazy from a previous batch; the
+                    // strict scalar formulas assume canonical inputs.
+                    butterflyLazy(g[j], g[j + half], w);
+                    continue;
+                }
                 Fr u = g[j];
                 Fr v = g[j + half] * w;
                 g[j] = u + v;
@@ -436,6 +454,10 @@ class GzkpNtt
                 std::swap(a[i], a[j]);
         }
 
+        // Lazy tier: identical scheme to ShuffledNtt -- the array
+        // stays in [0, 2p) across batches, reduced once at the end.
+        const bool lazy = ff::lazyEligible<Fr>() && ff::lazyEnabled();
+
         std::size_t b = effectiveB(log_n);
         std::vector<Fr> shared; // the modeled per-SM shared memory
         std::vector<Fr> scratch;
@@ -464,7 +486,7 @@ class GzkpNtt
                     std::size_t base =
                         groupBase(u0 + c, bt.startIter, bb);
                     butterflies(dom, &shared[c * gsz], gsz, base, bt,
-                                scratch.data(), invert);
+                                scratch.data(), invert, lazy);
                 }
                 // Internal shuffle out: reverse movement.
                 for (std::size_t c = 0; c < gcnt; ++c) {
@@ -481,6 +503,8 @@ class GzkpNtt
 
         if (invert)
             ff::mulcBatch(a.data(), a.data(), dom.nInv(), n);
+        else if (lazy)
+            ff::canonicalizeBatch(a.data(), n);
     }
 
     NttStats
@@ -549,7 +573,7 @@ class GzkpNtt
     void
     butterflies(const Domain<Fr> &dom, Fr *g, std::size_t gsz,
                 std::size_t base, const Batch &bt, Fr *scratch,
-                bool invert) const
+                bool invert, bool lazy) const
     {
         std::size_t s0 = bt.startIter;
         std::size_t low_mask = (std::size_t(1) << s0) - 1;
@@ -567,9 +591,14 @@ class GzkpNtt
                     wrow[l] = invert ? dom.twiddleInv(iter, tw)
                                      : dom.twiddle(iter, tw);
                 }
-                for (std::size_t j0 = 0; j0 < gsz; j0 += 2 * half)
-                    butterflyRows(g + j0, g + j0 + half, wrow, half,
-                                  mrow);
+                for (std::size_t j0 = 0; j0 < gsz; j0 += 2 * half) {
+                    if (lazy)
+                        butterflyRowsLazy(g + j0, g + j0 + half, wrow,
+                                          half, mrow);
+                    else
+                        butterflyRows(g + j0, g + j0 + half, wrow,
+                                      half, mrow);
+                }
                 continue;
             }
             for (std::size_t j = 0; j < gsz; ++j) {
@@ -579,6 +608,10 @@ class GzkpNtt
                     ((j & (half - 1)) << s0);
                 const Fr &w = invert ? dom.twiddleInv(iter, tw)
                                      : dom.twiddle(iter, tw);
+                if (lazy) {
+                    butterflyLazy(g[j], g[j + half], w);
+                    continue;
+                }
                 Fr u = g[j];
                 Fr v = g[j + half] * w;
                 g[j] = u + v;

@@ -19,6 +19,7 @@
 #include "msm/batch_affine.hh"
 #include "msm/msm_gzkp.hh"
 #include "msm/msm_serial.hh"
+#include "runtime/runtime.hh"
 #include "testkit/fuzz.hh"
 #include "testkit/generators.hh"
 
@@ -157,6 +158,81 @@ TEST(BatchAffineScheduler, SmallRoundsNeverCostMoreThanJacobian)
             << " sideRouted=" << acc.sideRouted()
             << " inversions=" << acc.inversions();
     }
+}
+
+TEST(BatchAffineScheduler, GzkpDrainStaysOnChordPathAcrossRounds)
+{
+    // The other half of the 2^14 single-thread regression
+    // (BENCH_msm_hotpath.json, gzkp engine): the accumulator's slot
+    // epoch only advances on flush(), and a drain round (~live
+    // buckets / kMaxChunks entries) is far below the kBatch in-feed
+    // threshold, so a drain that does not flush at every round
+    // boundary leaves all slots claimed after round one and silently
+    // degrades every later add into a Jacobian side add -- batch
+    // affine pays its scheduling overhead and then does Jacobian
+    // work anyway. Pin the drain shape with the engine's counters:
+    // per-round flushes mean many shared inversions (well above one
+    // per task group), zero collisions (round-robin across buckets
+    // touches each slot at most once per round), and chord adds
+    // dominating the side-routed tail. Under the old once-per-group
+    // flush this test sees collisions on the order of the entry
+    // count and exactly one inversion per group.
+    // The bench wrinkle's exact shape, 2^14 points at k=13: slot
+    // occupancy is nb/2^k (~4 GLV-doubled points per bucket-delta
+    // slot), so most adds are chords; anything much smaller degrades
+    // to slot fills and stages nothing.
+    auto in = testkit::msmInstance<Cfg>(16384,
+                                        testkit::ScalarMix::Dense, 61);
+    typename GzkpMsm<Cfg>::Options o;
+    o.k = 13; // 8191 buckets dealt into 64 groups of ~128
+    o.checkpointM = windowCount(Fr::bits(), o.k);
+    o.mode = CheckpointMode::Horner;
+    o.accumulator = Accumulator::BatchAffine;
+    o.glv = GlvMode::On;
+    o.threads = 1;
+    o.minDrainOccupancy = 0; // force the affine drain at occupancy ~4
+    GzkpMsm<Cfg> engine(o);
+    auto expect =
+        PippengerSerial<Cfg>(0, 1, Accumulator::Jacobian, GlvMode::Off)
+            .run(in.points, in.scalars);
+    EXPECT_EQ(engine.run(in.points, in.scalars), expect);
+
+    auto st = engine.lastDrainStats();
+    EXPECT_GT(st.affineAdds, 0u);
+    EXPECT_GT(st.inversions, runtime::kMaxChunks);
+    EXPECT_EQ(st.collisions, 0u);
+    EXPECT_GT(st.affineAdds, st.sideRouted);
+}
+
+TEST(BatchAffineScheduler, GzkpLowOccupancyRoutesDrainToJacobian)
+{
+    // The 2^14/1-thread wrinkle itself (BENCH_msm_hotpath.json, gzkp
+    // engine, GLV on): nb/2^k is ~4 adds per bucket-delta slot, the
+    // first of which is a plain slot fill, so only ~3/4 of the
+    // entries can ride the shared inversion while every entry pays
+    // the staging copies -- measured slower than the Jacobian Horner
+    // walk. The default occupancy threshold must route this shape to
+    // the Jacobian drain outright (all drain counters stay zero)
+    // while producing the identical result.
+    auto in = testkit::msmInstance<Cfg>(16384,
+                                        testkit::ScalarMix::Dense, 67);
+    typename GzkpMsm<Cfg>::Options o;
+    o.k = 13;
+    o.checkpointM = windowCount(Fr::bits(), o.k);
+    o.mode = CheckpointMode::Horner;
+    o.accumulator = Accumulator::BatchAffine;
+    o.glv = GlvMode::On;
+    o.threads = 1;
+    GzkpMsm<Cfg> engine(o);
+    auto expect =
+        PippengerSerial<Cfg>(0, 1, Accumulator::Jacobian, GlvMode::Off)
+            .run(in.points, in.scalars);
+    EXPECT_EQ(engine.run(in.points, in.scalars), expect);
+
+    auto st = engine.lastDrainStats();
+    EXPECT_EQ(st.affineAdds, 0u);
+    EXPECT_EQ(st.inversions, 0u);
+    EXPECT_EQ(st.sideRouted, 0u);
 }
 
 TEST(BatchAffineScheduler, ReduceWeightedMatchesJacobianReference)
